@@ -1,0 +1,107 @@
+"""Figure 10 — scalability with the number of Aligners (backtrace off).
+
+For each input set, the batch makespan with 1..10 Aligners is computed
+under the §4.1 schedule (reads serialise on the input path; alignments
+run in parallel), using the measured per-pair costs.  The paper's
+findings to reproduce:
+
+* long reads scale almost perfectly (9.87x / 9.67x at 10 Aligners for
+  10K-10% / 10K-5%),
+* short-read scaling saturates at Eq. 7's MaxAligners because the
+  design becomes bound on the accelerator-memory bandwidth.
+"""
+
+import statistics
+
+from repro.reporting import format_comparison, write_csv
+from repro.wfasic import max_efficient_aligners, schedule_makespan
+from repro.workloads import input_set_names
+
+ALIGNER_SWEEP = list(range(1, 11))
+#: Batch size used for the schedule sweep: measured per-pair costs are
+#: tiled to this many jobs so ten Aligners have work to share.
+SCHEDULE_JOBS = 40
+
+PAPER_10_ALIGNER_SPEEDUPS = {"10K-5%": 9.67, "10K-10%": 9.87}
+
+
+def _tile(values: list[int], count: int) -> list[int]:
+    return [values[i % len(values)] for i in range(count)]
+
+
+def test_fig10(measurements, report_table, benchmark):
+    table_rows = []
+    speedups_by_set: dict[str, list[float]] = {}
+    for name in input_set_names():
+        m = measurements[name]
+        jobs = _tile(m.align_cycles_nbt, SCHEDULE_JOBS)
+        base = schedule_makespan(m.reading_cycles, jobs, 1)
+        speedups = [
+            base / schedule_makespan(m.reading_cycles, jobs, a)
+            for a in ALIGNER_SWEEP
+        ]
+        speedups_by_set[name] = speedups
+        table_rows.append([name] + [round(s, 2) for s in speedups])
+
+    write_csv(
+        "benchmarks/results/fig10_scalability.csv",
+        ["input_set"] + [f"aligners_{a}" for a in ALIGNER_SWEEP],
+        table_rows,
+    )
+    report_table(
+        format_comparison(
+            ["Input set"] + [f"{a}A" for a in ALIGNER_SWEEP],
+            table_rows,
+            title="Figure 10 — speedup vs number of Aligners (over 1 Aligner)",
+            note="paper: 10K-10% reaches 9.87x and 10K-5% 9.67x at 10 "
+            "Aligners; short reads saturate at Eq. 7's MaxAligners",
+        )
+    )
+
+    # Shape assertions.
+    for name, speedups in speedups_by_set.items():
+        # Monotone non-decreasing in the aligner count.
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:])), name
+        assert speedups[0] == 1.0
+
+    # Long reads scale nearly perfectly at 10 Aligners.
+    for name, paper in PAPER_10_ALIGNER_SPEEDUPS.items():
+        measured = speedups_by_set[name][-1]
+        assert measured > 8.5, (name, measured)
+        assert abs(measured - paper) < 1.5, (name, measured)
+
+    # Short reads saturate around Eq. 7's knee: the speedup beyond
+    # MaxAligners gains < 15% more.
+    for name in ("100-5%", "100-10%"):
+        m = measurements[name]
+        knee = max_efficient_aligners(
+            int(statistics.mean(m.align_cycles_nbt)), m.reading_cycles
+        )
+        speedups = speedups_by_set[name]
+        if knee < len(speedups):
+            assert speedups[-1] < speedups[knee - 1] * 1.15, name
+        # And short reads never reach the long-read scaling.
+        assert speedups[-1] < speedups_by_set["10K-10%"][-1]
+
+    # Combined headline: speedup over the CPU scalar code with 10
+    # Aligners (paper: 10 621x at 10K-10%).
+    m = measurements["10K-10%"]
+    jobs = _tile(m.align_cycles_nbt, SCHEDULE_JOBS)
+    t10 = schedule_makespan(m.reading_cycles, jobs, 10)
+    cpu = m.cpu_scalar_cycles * (SCHEDULE_JOBS / m.num_pairs)
+    combined = cpu / t10
+    report_table(
+        format_comparison(
+            ["metric", "measured", "paper"],
+            [["10K-10% speedup vs CPU scalar @10 Aligners", round(combined), 10621]],
+            title="Figure 10 headline",
+        )
+    )
+    assert combined > 3000
+
+    # Wall-clock benchmark: the schedule sweep itself.
+    benchmark(
+        lambda: [
+            schedule_makespan(m.reading_cycles, jobs, a) for a in ALIGNER_SWEEP
+        ]
+    )

@@ -1,0 +1,72 @@
+"""Figure 9 — WFAsic speedup over the CPU scalar WFA, per input set.
+
+Three series, exactly as the figure plots them:
+
+* WFAsic with backtrace disabled vs CPU scalar (paper: 143x .. 1076x),
+* WFAsic with backtrace enabled vs CPU scalar (paper: 2.8x .. 344x),
+* the CPU vector (RVV) code vs the CPU scalar code.
+
+Speedups are cycle ratios, the FPGA-prototype measurement of §5.3.
+"""
+
+from repro.reporting import format_comparison, write_csv
+from repro.soc import Soc
+from repro.wfasic import WfasicConfig
+from repro.workloads import input_set_names, make_input_set
+
+#: The endpoints the paper states in §5.3 (full per-set values are only
+#: plotted, not tabulated).
+PAPER_NOBT_RANGE = (143.0, 1076.0)
+PAPER_BT_RANGE = (2.8, 344.0)
+
+
+def test_fig9(measurements, report_table, benchmark):
+    rows = []
+    series_nobt = []
+    series_bt = []
+    series_vec = []
+    for name in input_set_names():
+        m = measurements[name]
+        s_nobt = m.cpu_scalar_cycles / m.accel_nbt_total
+        s_bt = m.cpu_scalar_cycles / m.accel_bt_nosep_total
+        s_vec = m.cpu_scalar_cycles / m.cpu_vector_cycles
+        series_nobt.append(s_nobt)
+        series_bt.append(s_bt)
+        series_vec.append(s_vec)
+        rows.append([name, round(s_nobt, 1), round(s_bt, 1), round(s_vec, 2)])
+
+    write_csv(
+        "benchmarks/results/fig9_speedups.csv",
+        ["input_set", "wfasic_nobt_x", "wfasic_bt_x", "cpu_vector_x"],
+        rows,
+    )
+    report_table(
+        format_comparison(
+            ["Input set", "WFAsic noBT (x)", "WFAsic BT (x)", "CPU vector (x)"],
+            rows,
+            title="Figure 9 — speedup over the CPU scalar WFA",
+            note=f"paper ranges: noBT {PAPER_NOBT_RANGE[0]}-{PAPER_NOBT_RANGE[1]}x, "
+            f"BT {PAPER_BT_RANGE[0]}-{PAPER_BT_RANGE[1]}x",
+        )
+    )
+
+    # Shape assertions.
+    # 1. Speedups grow with read length (per error rate).
+    for lo, hi in ((0, 2), (2, 4), (1, 3), (3, 5)):
+        assert series_nobt[hi] > series_nobt[lo]
+        assert series_bt[hi] > series_bt[lo]
+    # 2. The no-backtrace series dominates the backtrace series everywhere.
+    assert all(n > b for n, b in zip(series_nobt, series_bt))
+    # 3. Both series land inside a 2x band of the paper's stated range.
+    assert PAPER_NOBT_RANGE[0] / 2 < min(series_nobt) < PAPER_NOBT_RANGE[0] * 2
+    assert PAPER_NOBT_RANGE[1] / 2 < max(series_nobt) < PAPER_NOBT_RANGE[1] * 2
+    assert PAPER_BT_RANGE[0] / 2 < min(series_bt) < PAPER_BT_RANGE[0] * 2
+    assert PAPER_BT_RANGE[1] / 2 < max(series_bt) < PAPER_BT_RANGE[1] * 2
+    # 4. The vector code helps but is nowhere near the accelerator.
+    assert all(1.5 < v < 16 for v in series_vec)
+    assert all(v < n for v, n in zip(series_vec, series_nobt))
+
+    # Wall-clock benchmark: the CPU-flow model on a short-read set.
+    pairs = make_input_set("100-10%", 8)
+    soc = Soc(WfasicConfig.paper_default(backtrace=False))
+    benchmark(lambda: soc.run_cpu(pairs, vector=False))

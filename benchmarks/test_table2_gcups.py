@@ -1,0 +1,169 @@
+"""Table 2 — GCUPS, area and GCUPS/mm² across platforms at 10 kbp.
+
+The four literature rows (GACT, EPYC x2, WFA-GPU) are the published
+numbers the paper itself tabulates; the two WFAsic rows are measured
+here: cycle counts of the 10K-5% input scaled to the 1.1 GHz post-PnR
+clock (§5.5), with the backtrace row adding the CPU backtrace time at
+the Sargantana clock.
+"""
+
+from repro.metrics import (
+    TABLE2_REFERENCE_ROWS,
+    gcups_from_cycles,
+    swg_equivalent_cells,
+)
+from repro.reporting import format_comparison
+from repro.soc.cpu import SARGANTANA_FREQUENCY_HZ
+from repro.wfasic import GF22_FREQUENCY_HZ, GF22_POWER_W, WfasicConfig, asic_report
+from repro.workloads import make_input_set
+
+PAPER_WFASIC_BT_GCUPS = 61.0
+PAPER_WFASIC_NBT_GCUPS = 390.0
+PAPER_WFASIC_AREA = 1.6
+
+
+def test_table2(measurements, report_table, benchmark):
+    m = measurements["10K-5%"]
+    area = asic_report(WfasicConfig.paper_default()).total_area_mm2
+
+    # Without backtrace: pure accelerator time at the ASIC clock.
+    nbt_seconds = m.accel_nbt_total / GF22_FREQUENCY_HZ
+    nbt_gcups = m.swg_cells / nbt_seconds / 1e9
+
+    # With backtrace: accelerator at 1.1 GHz + CPU backtrace at 1.26 GHz
+    # (no-separation method — the shipped single-Aligner configuration).
+    bt_seconds = (
+        m.accel_bt_nosep_accel / GF22_FREQUENCY_HZ
+        + m.accel_bt_nosep_cpu / SARGANTANA_FREQUENCY_HZ
+    )
+    bt_gcups = m.swg_cells / bt_seconds / 1e9
+
+    rows = []
+    for ref in TABLE2_REFERENCE_ROWS:
+        rows.append(
+            [ref.platform, ref.gcups, ref.area_mm2, round(ref.gcups_per_mm2, 4), "paper"]
+        )
+    rows.append(
+        ["WFAsic [With Backtrace]", round(bt_gcups, 1), round(area, 2),
+         round(bt_gcups / area, 1), f"measured (paper {PAPER_WFASIC_BT_GCUPS})"]
+    )
+    rows.append(
+        ["WFAsic [Without Backtrace]", round(nbt_gcups, 1), round(area, 2),
+         round(nbt_gcups / area, 1), f"measured (paper {PAPER_WFASIC_NBT_GCUPS})"]
+    )
+    report_table(
+        format_comparison(
+            ["Platform/Design", "GCUPS", "Area mm2", "GCUPS/mm2", "source"],
+            rows,
+            title="Table 2 — GCUPS and area comparison @ 10 kbp",
+            note="WFAsic rows measured on this simulator; others are the "
+            "paper's cited literature values",
+        )
+    )
+
+    # Shape assertions (who wins):
+    # 1. WFAsic (both modes) beats every other platform on GCUPS/mm2.
+    best_other = max(r.gcups_per_mm2 for r in TABLE2_REFERENCE_ROWS)
+    assert bt_gcups / area > best_other
+    assert nbt_gcups / area > best_other
+    # 2. GACT keeps the highest absolute GCUPS (with its 50x area).
+    assert nbt_gcups < 2129
+    # 3. Magnitudes within the documented band of the paper's numbers.
+    assert 0.3 < nbt_gcups / PAPER_WFASIC_NBT_GCUPS < 1.5
+    assert 0.3 < bt_gcups / PAPER_WFASIC_BT_GCUPS < 3.0
+    # 4. Backtrace costs throughput.
+    assert bt_gcups < nbt_gcups
+
+    # Wall-clock benchmark: the GCUPS computation itself is trivial; time
+    # the area-model derivation it depends on.
+    benchmark(lambda: asic_report(WfasicConfig.paper_default()))
+
+
+def test_wfa_fpga_per_aligner_comparison(measurements, report_table, benchmark):
+    """§5.5's WFA-FPGA aside: GCUPS per Aligner (not in Table 2 because
+    WFA-FPGA cannot run 10 kbp reads; compared at its own terms)."""
+    m = measurements["10K-5%"]
+    # The paper's 61 GCUPS/Aligner is the Table 2 with-backtrace figure.
+    bt_seconds = (
+        m.accel_bt_nosep_accel / GF22_FREQUENCY_HZ
+        + m.accel_bt_nosep_cpu / SARGANTANA_FREQUENCY_HZ
+    )
+    per_aligner_gcups = m.swg_cells / bt_seconds / 1e9
+    report_table(
+        format_comparison(
+            ["Design", "GCUPS per Aligner", "source"],
+            [
+                ["WFA-FPGA (40+ aligners, short reads only)", 31.3, "paper"],
+                ["WFAsic (1 Aligner, paper, with BT)", 61.0, "paper"],
+                ["WFAsic (1 Aligner, measured, with BT)", round(per_aligner_gcups, 1), "this repo"],
+            ],
+            title="§5.5 — per-Aligner GCUPS vs the WFA-FPGA",
+        )
+    )
+    assert per_aligner_gcups > 31.3  # WFAsic's per-Aligner win must hold
+    benchmark(
+        lambda: gcups_from_cycles(m.swg_cells, m.accel_nbt_total, GF22_FREQUENCY_HZ)
+    )
+
+
+def test_asic_physical_summary(report_table, benchmark):
+    """§5.2 physicals: macros, memory, area, frequency, power."""
+    rep = benchmark(lambda: asic_report(WfasicConfig.paper_default()))
+    rows = [
+        ["memory macros", rep.inventory.total_macros, 260],
+        ["on-chip memory (MB)", round(rep.memory_mb, 3), 0.48],
+        ["area (mm2)", round(rep.total_area_mm2, 2), 1.6],
+        ["frequency (GHz)", rep.frequency_hz / 1e9, 1.1],
+        ["power (mW)", round(rep.power_w * 1000), 312],
+        ["SoC area with Sargantana (mm2)", round(rep.soc_area_mm2, 2), "~3"],
+    ]
+    report_table(
+        format_comparison(
+            ["quantity", "model", "paper"],
+            rows,
+            title="§5.2 — ASIC implementation summary (Fig. 8 context)",
+            note="macro count and memory are derived from the architecture; "
+            "frequency/power carried as documented constants",
+        )
+    )
+    assert rep.inventory.total_macros == 260
+
+
+def test_energy_per_alignment(measurements, report_table, benchmark):
+    """§1's portability claim: energy per 10 kbp alignment per platform."""
+    from repro.metrics import TABLE_ENERGY_ROWS
+
+    m = measurements["10K-5%"]
+    nbt_gcups = m.swg_cells / (m.accel_nbt_total / GF22_FREQUENCY_HZ) / 1e9
+    bt_seconds = (
+        m.accel_bt_nosep_accel / GF22_FREQUENCY_HZ
+        + m.accel_bt_nosep_cpu / SARGANTANA_FREQUENCY_HZ
+    )
+    bt_gcups = m.swg_cells / bt_seconds / 1e9
+    rows = TABLE_ENERGY_ROWS(bt_gcups, nbt_gcups, GF22_POWER_W)
+    table = [
+        [r.platform, r.power_w, round(r.gcups, 1),
+         f"{r.joules_per_alignment * 1e6:.1f}",
+         round(r.gcups_per_watt, 2)]
+        for r in rows
+    ]
+    report_table(
+        format_comparison(
+            ["Platform", "Power W", "GCUPS", "uJ/alignment", "GCUPS/W"],
+            table,
+            title="Energy — one 10 kbp alignment per platform (§1 portability)",
+            note="WFAsic power is the paper's 312 mW; competitor powers are "
+            "published TDP/board figures",
+        )
+    )
+    wfasic = [r for r in rows if r.platform.startswith("WFAsic")]
+    others = {r.platform: r for r in rows if not r.platform.startswith("WFAsic")}
+    # WFAsic wins GCUPS/W against every platform (the other ASIC, GACT,
+    # is the only one in the same league) and beats the programmable
+    # platforms (CPU/GPU) by orders of magnitude.
+    assert min(w.gcups_per_watt for w in wfasic) > max(
+        o.gcups_per_watt for o in others.values()
+    )
+    gpu = others["WFA-GPU [NVIDIA GeForce 3080]"]
+    assert min(w.gcups_per_watt for w in wfasic) > 100 * gpu.gcups_per_watt
+    benchmark(lambda: TABLE_ENERGY_ROWS(bt_gcups, nbt_gcups, GF22_POWER_W))

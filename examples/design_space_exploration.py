@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space exploration: Aligners x parallel sections x area.
+
+Reproduces the reasoning of §5.4 at larger scope: for a grid of
+configurations, measure batch throughput on a representative workload,
+derive silicon area from the macro inventory, and print the
+throughput-per-area frontier.  This is the analysis behind the paper's
+choice of one Aligner with 64 parallel sections.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.reporting import format_table
+from repro.soc import Soc
+from repro.wfasic import WfasicConfig, asic_report
+from repro.workloads import make_input_set
+
+
+CONFIGS = [
+    (1, 16),
+    (1, 32),
+    (1, 64),
+    (1, 128),
+    (2, 32),
+    (2, 64),
+    (4, 16),
+    (4, 32),
+]
+
+
+def main() -> None:
+    workloads = {
+        "short (100bp-10%)": make_input_set("100-10%", 12),
+        "medium (1K-10%)": make_input_set("1K-10%", 4),
+    }
+
+    for label, pairs in workloads.items():
+        rows = []
+        for n_aligners, n_ps in CONFIGS:
+            cfg = WfasicConfig(
+                num_aligners=n_aligners,
+                parallel_sections=n_ps,
+                backtrace=False,
+            )
+            soc = Soc(cfg)
+            out = soc.run_accelerated(pairs, backtrace=False)
+            report = asic_report(cfg)
+            cycles = out.total_cycles
+            # Pairs per second at the post-PnR clock, per mm^2.
+            pairs_per_s = len(pairs) / (cycles / report.frequency_hz)
+            rows.append(
+                [
+                    f"{n_aligners}x{n_ps}PS",
+                    cycles,
+                    round(report.total_area_mm2, 2),
+                    round(pairs_per_s / 1e3, 1),
+                    round(pairs_per_s / report.total_area_mm2 / 1e3, 1),
+                ]
+            )
+        rows.sort(key=lambda r: -r[-1])
+        print(
+            format_table(
+                ["config", "batch cycles", "area mm2", "Kpairs/s", "Kpairs/s/mm2"],
+                rows,
+                title=f"\n=== {label} ===",
+            )
+        )
+
+    print(
+        "\nObservations (cf. §5.4):\n"
+        "  * short reads: extra Aligners beat extra parallel sections\n"
+        "    (small wavefronts leave wide Aligners idle);\n"
+        "  * long reads: wide Aligners catch up — and one 64-PS Aligner\n"
+        "    avoids the CPU-side data-separation cost entirely, which is\n"
+        "    why the paper ships 1x64PS."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""WFAsic reproduction — a cycle-approximate simulator of the paper
+
+"WFAsic: A High-Performance ASIC Accelerator for DNA Sequence Alignment on
+a RISC-V SoC" (Haghi et al., ICPP 2023).
+
+Subpackages
+-----------
+``repro.align``
+    Alignment algorithms: SWG/gap-linear DP oracles, scalar and
+    vectorised WFA, CIGARs, penalties, the reachable-score lattice.
+``repro.workloads``
+    Synthetic read-pair generation and the paper's six input sets.
+``repro.wfasic``
+    The accelerator model: Extractor, Aligner (Extend/Compute parallel
+    sections), Collectors, banked RAMs, byte-exact memory formats, the
+    CPU-side backtrace, and the ASIC area/frequency model.
+``repro.soc``
+    The RISC-V SoC substrate: main memory, AXI buses, DMA, MMIO register
+    file, the Sargantana CPU cost model, and a Linux-driver-style API.
+``repro.metrics``
+    GCUPS and speedup accounting.
+``repro.verify``
+    Differential verification (the LEC/GLS analog) and fault injection.
+``repro.reporting``
+    Paper-style tables for benches and EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"

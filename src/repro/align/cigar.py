@@ -1,0 +1,184 @@
+"""CIGAR strings: the backtrace output of a pairwise alignment.
+
+A CIGAR describes, character by character, how a *pattern* sequence ``a``
+maps onto a *text* sequence ``b`` (Fig. 1a of the paper):
+
+* ``M`` — match: ``a[i] == b[j]``, both cursors advance.
+* ``X`` — mismatch/substitution, both cursors advance.
+* ``I`` — insertion: a character of ``b`` absent from ``a`` (only ``j``
+  advances).
+* ``D`` — deletion: a character of ``a`` absent from ``b`` (only ``i``
+  advances).
+
+Conventions follow the paper's Eq. 4: diagonal ``k = j - i`` and offsets
+run along ``b``, so an *insertion* advances the offset and a *deletion*
+does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import groupby
+
+from .penalties import AffinePenalties, LinearPenalties
+
+__all__ = ["Cigar", "CigarError"]
+
+_VALID_OPS = frozenset("MXID")
+
+
+class CigarError(ValueError):
+    """Raised when a CIGAR is malformed or inconsistent with sequences."""
+
+
+@dataclass(frozen=True)
+class Cigar:
+    """An alignment backtrace as a flat string of M/X/I/D operations.
+
+    The internal representation is the fully expanded form (one character
+    per aligned column), e.g. ``"MMXMMIMM"``.  The run-length compressed
+    SAM-style form (``"2M1X2M1I2M"``) is available via :meth:`compact`.
+    """
+
+    ops: str
+
+    def __post_init__(self) -> None:
+        bad = set(self.ops) - _VALID_OPS
+        if bad:
+            raise CigarError(f"invalid CIGAR operations: {sorted(bad)!r}")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_compact(cls, compact: str) -> "Cigar":
+        """Parse a run-length encoded CIGAR such as ``"10M2I3X"``."""
+        ops: list[str] = []
+        count = ""
+        for ch in compact:
+            if ch.isdigit():
+                count += ch
+            elif ch in _VALID_OPS:
+                ops.append(ch * (int(count) if count else 1))
+                count = ""
+            else:
+                raise CigarError(f"invalid character {ch!r} in compact CIGAR")
+        if count:
+            raise CigarError(f"trailing count {count!r} without operation")
+        return cls("".join(ops))
+
+    # -- basic accessors ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def compact(self) -> str:
+        """Run-length encoded form, e.g. ``"2M1X3M"``."""
+        return "".join(f"{len(list(g))}{op}" for op, g in groupby(self.ops))
+
+    def counts(self) -> dict[str, int]:
+        """Number of each operation, keyed ``'M'/'X'/'I'/'D'``."""
+        return {op: self.ops.count(op) for op in "MXID"}
+
+    @property
+    def pattern_length(self) -> int:
+        """Length of sequence ``a`` consumed (M, X and D advance ``i``)."""
+        c = self.counts()
+        return c["M"] + c["X"] + c["D"]
+
+    @property
+    def text_length(self) -> int:
+        """Length of sequence ``b`` consumed (M, X and I advance ``j``)."""
+        c = self.counts()
+        return c["M"] + c["X"] + c["I"]
+
+    def num_differences(self) -> int:
+        """Total differences (every op that is not a match)."""
+        c = self.counts()
+        return c["X"] + c["I"] + c["D"]
+
+    def num_gap_opens(self) -> int:
+        """Number of maximal runs of I or D (each pays the opening cost)."""
+        return sum(1 for op, _ in groupby(self.ops) if op in "ID")
+
+    # -- scoring -------------------------------------------------------
+
+    def score(self, penalties: AffinePenalties | LinearPenalties) -> int:
+        """Alignment penalty of this CIGAR under the given scoring model.
+
+        For gap-affine models this is exactly Eq. 5's left-hand side:
+        ``num_x * x + num_open * (o + e) + num_extend * e``.
+        """
+        c = self.counts()
+        if isinstance(penalties, LinearPenalties):
+            return c["X"] * penalties.mismatch + (c["I"] + c["D"]) * penalties.gap
+        gap_chars = c["I"] + c["D"]
+        return (
+            c["X"] * penalties.mismatch
+            + self.num_gap_opens() * penalties.gap_open
+            + gap_chars * penalties.gap_extend
+        )
+
+    # -- validation / rendering ---------------------------------------
+
+    def validate(self, a: str, b: str) -> None:
+        """Check this CIGAR is a correct alignment of ``a`` onto ``b``.
+
+        Raises :class:`CigarError` if lengths do not match or if an ``M``
+        covers unequal characters / an ``X`` covers equal characters.
+        """
+        i = j = 0
+        for col, op in enumerate(self.ops):
+            if op in "MX":
+                if i >= len(a) or j >= len(b):
+                    raise CigarError(f"column {col}: {op} runs past sequence end")
+                if op == "M" and a[i] != b[j]:
+                    raise CigarError(
+                        f"column {col}: M but a[{i}]={a[i]!r} != b[{j}]={b[j]!r}"
+                    )
+                if op == "X" and a[i] == b[j]:
+                    raise CigarError(
+                        f"column {col}: X but a[{i}] == b[{j}] == {a[i]!r}"
+                    )
+                i += 1
+                j += 1
+            elif op == "I":
+                if j >= len(b):
+                    raise CigarError(f"column {col}: I runs past text end")
+                j += 1
+            else:  # D
+                if i >= len(a):
+                    raise CigarError(f"column {col}: D runs past pattern end")
+                i += 1
+        if i != len(a) or j != len(b):
+            raise CigarError(
+                f"CIGAR consumes ({i}, {j}) characters but sequences have "
+                f"lengths ({len(a)}, {len(b)})"
+            )
+
+    def render(self, a: str, b: str) -> str:
+        """Three-line human-readable alignment view (Fig. 1a style)."""
+        top: list[str] = []
+        mid: list[str] = []
+        bot: list[str] = []
+        i = j = 0
+        for op in self.ops:
+            if op in "MX":
+                top.append(a[i])
+                bot.append(b[j])
+                mid.append("|" if op == "M" else "*")
+                i += 1
+                j += 1
+            elif op == "I":
+                top.append("-")
+                bot.append(b[j])
+                mid.append(" ")
+                j += 1
+            else:
+                top.append(a[i])
+                bot.append("-")
+                mid.append(" ")
+                i += 1
+        return "\n".join("".join(line) for line in (top, mid, bot))

@@ -1,0 +1,200 @@
+"""Vectorised WFA kernels shared by the software aligner and the WFAsic model.
+
+Two kernels mirror the two hardware sub-modules of §4.3:
+
+* :func:`compute_kernel` — Eq. 3 across a whole frame column at once,
+  optionally emitting the 5-bit per-cell origin codes that the Compute
+  sub-module concatenates into backtrace blocks.
+* :func:`extend_kernel` — greedy match extension in 16-base blocks, the
+  exact dataflow of the Extend sub-module (compare a block per cycle until
+  a mismatch or a sequence end), vectorised across all live cells of the
+  frame column.  It reports the number of block comparisons per cell so
+  cycle models can charge the same work the hardware would do.
+
+Both kernels use the paper's conventions: ``offset = j``, ``k = j - i``,
+:data:`NULL_OFFSET` for unreachable cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .wfa import NULL_OFFSET
+
+__all__ = [
+    "ORIGIN_M_NONE",
+    "ORIGIN_M_SUB",
+    "ORIGIN_M_INS",
+    "ORIGIN_M_DEL",
+    "ORIGIN_I_EXT_BIT",
+    "ORIGIN_D_EXT_BIT",
+    "ComputeOutput",
+    "ExtendOutput",
+    "compute_kernel",
+    "extend_kernel",
+    "pad_sequence",
+]
+
+# --- 5-bit origin encoding (§4.3.3: 3 bits M + 1 bit I + 1 bit D) ---------
+
+#: M-origin field (bits 2..0): where the M cell's value came from.
+ORIGIN_M_NONE = 0  # cell is NULL
+ORIGIN_M_SUB = 1  # substitution: M[s-x, k] + 1
+ORIGIN_M_INS = 2  # insertion:    I[s, k]
+ORIGIN_M_DEL = 3  # deletion:     D[s, k]
+
+#: I-origin bit (bit 3): 0 = open (M[s-o-e, k-1]), 1 = extend (I[s-e, k-1]).
+ORIGIN_I_EXT_BIT = 1 << 3
+#: D-origin bit (bit 4): 0 = open (M[s-o-e, k+1]), 1 = extend (D[s-e, k+1]).
+ORIGIN_D_EXT_BIT = 1 << 4
+
+
+@dataclass(frozen=True)
+class ComputeOutput:
+    """Frame-column result of one compute() step."""
+
+    m: np.ndarray  # int64, NULL_OFFSET where unreachable
+    i: np.ndarray
+    d: np.ndarray
+    origins: np.ndarray | None  # uint8 5-bit codes, or None
+
+    @property
+    def any_live(self) -> bool:
+        return bool((self.m >= 0).any())
+
+
+@dataclass(frozen=True)
+class ExtendOutput:
+    """Frame-column result of one extend() step."""
+
+    offsets: np.ndarray  # post-extension M offsets
+    blocks: np.ndarray  # 16-base comparator operations per cell
+    matches: int  # total matched characters
+    comparisons: int  # total character comparisons (scalar-equivalent)
+
+
+def compute_kernel(
+    m_x: np.ndarray,
+    m_oe_km1: np.ndarray,
+    i_e_km1: np.ndarray,
+    m_oe_kp1: np.ndarray,
+    d_e_kp1: np.ndarray,
+    ks: np.ndarray,
+    n: int,
+    m: int,
+    *,
+    emit_origins: bool = False,
+) -> ComputeOutput:
+    """Eq. 3 for one frame column.
+
+    All inputs are aligned to the output diagonals ``ks``: ``m_x[t]`` is
+    ``M[s-x, ks[t]]``, ``m_oe_km1[t]`` is ``M[s-o-e, ks[t]-1]``, and so on
+    (callers gather the shifted windows; the hardware does the same with
+    its banked RAM addressing, Fig. 6).
+
+    Dead cells — offset beyond the text end ``m``, row ``i = offset - k``
+    beyond the pattern end ``n``, or no live source — are nulled *before*
+    the max so they can never shadow a live candidate.
+    """
+    ins = np.maximum(m_oe_km1, i_e_km1) + 1
+    dele = np.maximum(m_oe_kp1, d_e_kp1)
+    sub = m_x + 1
+
+    for arr in (ins, dele, sub):
+        dead = (arr > m) | (arr - ks > n) | (arr < 0)
+        arr[dead] = NULL_OFFSET
+
+    mwf = np.maximum(np.maximum(ins, dele), sub)
+
+    origins: np.ndarray | None = None
+    if emit_origins:
+        # Tie-breaking must mirror the backtrace preference order:
+        # substitution, then insertion, then deletion; and within I/D,
+        # extend over open.
+        origins = np.zeros(len(ks), dtype=np.uint8)
+        live = mwf >= 0
+        m_orig = np.full(len(ks), ORIGIN_M_NONE, dtype=np.uint8)
+        take_del = live & (mwf == dele)
+        m_orig[take_del] = ORIGIN_M_DEL
+        take_ins = live & (mwf == ins)
+        m_orig[take_ins] = ORIGIN_M_INS
+        take_sub = live & (mwf == sub)
+        m_orig[take_sub] = ORIGIN_M_SUB
+        origins |= m_orig
+        origins |= np.where(i_e_km1 >= m_oe_km1, ORIGIN_I_EXT_BIT, 0).astype(np.uint8)
+        origins |= np.where(d_e_kp1 >= m_oe_kp1, ORIGIN_D_EXT_BIT, 0).astype(np.uint8)
+
+    return ComputeOutput(m=mwf, i=ins, d=dele, origins=origins)
+
+
+def pad_sequence(seq: str, *, sentinel: int, block: int = 16) -> np.ndarray:
+    """Sequence bytes followed by ``block`` sentinel bytes.
+
+    The sentinel guarantees that comparisons past the sequence end fail,
+    so the vectorised comparator needs no per-row bounds checks (use
+    *different* sentinels for the two sequences).
+    """
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    return np.concatenate([raw, np.full(block, sentinel, dtype=np.uint8)])
+
+
+def extend_kernel(
+    av_pad: np.ndarray,
+    bv_pad: np.ndarray,
+    n: int,
+    m: int,
+    offsets: np.ndarray,
+    lo: int,
+    *,
+    block: int = 16,
+) -> ExtendOutput:
+    """extend() for one frame column, in 16-base blocks.
+
+    ``av_pad``/``bv_pad`` come from :func:`pad_sequence` with distinct
+    sentinels.  ``offsets`` holds the pre-extension M offsets for diagonals
+    ``lo..lo+len(offsets)-1``; NULL cells are skipped.
+
+    The block loop is a faithful model of the Extend sub-module: each
+    iteration consumes one comparator operation per still-active cell
+    (16 bases compared in parallel), and a cell retires on its first
+    block containing a mismatch or a sequence end.
+    """
+    width = len(offsets)
+    out = offsets.astype(np.int64, copy=True)
+    blocks = np.zeros(width, dtype=np.int64)
+    ks = np.arange(lo, lo + width, dtype=np.int64)
+
+    live = out >= 0
+    j = np.where(live, out, 0)
+    i = np.where(live, j - ks, 0)
+    sel = np.flatnonzero(live & (i < n) & (j < m))
+    total_matches = 0
+    total_comparisons = 0
+    span = np.arange(block, dtype=np.int64)
+
+    while sel.size:
+        ai = i[sel, None] + span
+        bj = j[sel, None] + span
+        neq = av_pad[ai] != bv_pad[bj]
+        hit = neq.any(axis=1)
+        run = np.where(hit, neq.argmax(axis=1), block)
+        blocks[sel] += 1
+        i[sel] += run
+        j[sel] += run
+        total_matches += int(run.sum())
+        # Scalar-equivalent comparisons: matched chars, plus one discovery
+        # compare for runs stopped by a genuine in-bounds mismatch (a stop
+        # at a sequence end costs no compare in the scalar model).
+        inside = (i[sel] < n) & (j[sel] < m)
+        total_comparisons += int(run.sum()) + int((hit & inside).sum())
+        sel = sel[(~hit) & inside]
+
+    out[live] = j[live]
+    return ExtendOutput(
+        offsets=out,
+        blocks=blocks,
+        matches=total_matches,
+        comparisons=total_comparisons,
+    )

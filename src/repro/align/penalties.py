@@ -1,0 +1,112 @@
+"""Scoring models for pairwise sequence alignment.
+
+The paper (and the WFA algorithm it accelerates) uses *penalty-based*
+scoring: a match costs 0, and every difference adds a non-negative
+penalty.  Two models appear in the paper:
+
+* **gap-linear** (Eq. 1): a mismatch costs ``x`` and every gap character
+  costs ``g``, independent of whether it opens or extends a gap.
+* **gap-affine** (Eq. 2/3): a mismatch costs ``x``, opening a gap costs
+  ``o + e`` and each further gap character costs ``e``.  This is the model
+  implemented by SWG, WFA and the WFAsic accelerator.
+
+The paper's running example and the hardware configuration both use
+``(x, o, e) = (4, 6, 2)``; :data:`DEFAULT_PENALTIES` mirrors that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+__all__ = [
+    "AffinePenalties",
+    "LinearPenalties",
+    "DEFAULT_PENALTIES",
+]
+
+
+@dataclass(frozen=True)
+class AffinePenalties:
+    """Gap-affine penalties ``(x, o, e)`` as used by SWG/WFA (Eq. 2/3).
+
+    Attributes
+    ----------
+    mismatch:
+        Penalty ``x`` for a substitution.  Must be > 0 (a zero mismatch
+        penalty makes every pair align with score 0 and breaks the WFA
+        score recurrence).
+    gap_open:
+        Penalty ``o`` added once when a gap opens.  The first gap
+        character costs ``o + e`` in total.
+    gap_extend:
+        Penalty ``e`` for every gap character (including the first).
+        Must be > 0.
+    """
+
+    mismatch: int = 4
+    gap_open: int = 6
+    gap_extend: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mismatch <= 0:
+            raise ValueError(f"mismatch penalty must be > 0, got {self.mismatch}")
+        if self.gap_open < 0:
+            raise ValueError(f"gap-open penalty must be >= 0, got {self.gap_open}")
+        if self.gap_extend <= 0:
+            raise ValueError(f"gap-extend penalty must be > 0, got {self.gap_extend}")
+
+    @property
+    def gap_open_total(self) -> int:
+        """Cost ``o + e`` of the first character of a gap."""
+        return self.gap_open + self.gap_extend
+
+    @property
+    def score_granularity(self) -> int:
+        """GCD of all penalty steps.
+
+        Every reachable alignment score is a multiple of this value, so
+        simulators can step scores by it instead of by 1.  For the paper's
+        ``(4, 6, 2)`` this is 2, which is why the paper's wavefront scores
+        are all even (0, 4, 8, 10, 12, ...).
+        """
+        return gcd(self.mismatch, gcd(self.gap_open_total, self.gap_extend))
+
+    def gap_cost(self, length: int) -> int:
+        """Total penalty of a contiguous gap of ``length`` characters."""
+        if length < 0:
+            raise ValueError(f"gap length must be >= 0, got {length}")
+        if length == 0:
+            return 0
+        return self.gap_open + self.gap_extend * length
+
+    def max_window_span(self) -> int:
+        """How far back (in score units) the WFA recurrence reaches.
+
+        Computing wavefront ``s`` needs wavefronts ``s - x``, ``s - o - e``
+        and ``s - e`` (Eq. 3); the window of live wavefronts therefore
+        spans ``max(x, o + e, e)`` scores.
+        """
+        return max(self.mismatch, self.gap_open_total, self.gap_extend)
+
+
+@dataclass(frozen=True)
+class LinearPenalties:
+    """Gap-linear penalties ``(x, g)`` as used by plain SW (Eq. 1)."""
+
+    mismatch: int = 4
+    gap: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mismatch <= 0:
+            raise ValueError(f"mismatch penalty must be > 0, got {self.mismatch}")
+        if self.gap <= 0:
+            raise ValueError(f"gap penalty must be > 0, got {self.gap}")
+
+    def as_affine(self) -> AffinePenalties:
+        """The equivalent gap-affine model with a zero opening surcharge."""
+        return AffinePenalties(mismatch=self.mismatch, gap_open=0, gap_extend=self.gap)
+
+
+#: The penalties used throughout the paper: ``(x, o, e) = (4, 6, 2)``.
+DEFAULT_PENALTIES = AffinePenalties(mismatch=4, gap_open=6, gap_extend=2)

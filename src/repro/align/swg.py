@@ -1,0 +1,169 @@
+"""Smith-Waterman-Gotoh gap-affine dynamic programming (Eq. 2).
+
+This is the exact *oracle* of the repository: the WFA algorithm (and the
+WFAsic accelerator built on it) must produce byte-identical scores and
+equivalently-scored CIGARs.  Following the paper (and the WFA paper it
+cites), the alignment is **end-to-end** (global): both sequences are
+consumed completely, and the score is a penalty to be minimised.
+
+Three DP matrices are kept (Eq. 2):
+
+* ``M(i, j)`` — best penalty of an alignment of ``a[:i]``/``b[:j]`` ending
+  in a match or mismatch,
+* ``I(i, j)`` — ending in an insertion (gap in ``a``, consumes ``b[j-1]``),
+* ``D(i, j)`` — ending in a deletion (gap in ``b``, consumes ``a[i-1]``).
+
+The implementation is numpy-vectorised row by row; the backtrace re-derives
+each step from the matrices (no explicit direction matrix is needed, which
+keeps memory at three ``(n+1) x (m+1)`` int arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cigar import Cigar
+from .penalties import AffinePenalties, DEFAULT_PENALTIES
+
+__all__ = ["SwgResult", "swg_align", "swg_score", "swg_matrices"]
+
+# A value safely larger than any reachable penalty but far from overflow.
+_INF = np.int64(2**31)
+
+
+@dataclass(frozen=True)
+class SwgResult:
+    """Outcome of a gap-affine DP alignment."""
+
+    score: int
+    cigar: Cigar
+
+
+def _encode(seq: str) -> np.ndarray:
+    """Sequence as a numpy byte array for vectorised comparisons."""
+    return np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+
+
+def swg_matrices(
+    a: str, b: str, penalties: AffinePenalties = DEFAULT_PENALTIES
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill and return the full ``(M, I, D)`` DP matrices.
+
+    Row 0 / column 0 hold the global-alignment boundary conditions:
+    aligning a prefix against the empty string is one long gap.
+    """
+    n, m = len(a), len(b)
+    x = penalties.mismatch
+    oe = penalties.gap_open_total
+    e = penalties.gap_extend
+
+    M = np.full((n + 1, m + 1), _INF, dtype=np.int64)
+    I = np.full((n + 1, m + 1), _INF, dtype=np.int64)
+    D = np.full((n + 1, m + 1), _INF, dtype=np.int64)
+
+    M[0, 0] = 0
+    if m:
+        I[0, 1:] = penalties.gap_open + e * np.arange(1, m + 1, dtype=np.int64)
+        M[0, 1:] = I[0, 1:]
+    if n:
+        D[1:, 0] = penalties.gap_open + e * np.arange(1, n + 1, dtype=np.int64)
+        M[1:, 0] = D[1:, 0]
+
+    if n == 0 or m == 0:
+        return M, I, D
+
+    av = _encode(a)
+    bv = _encode(b)
+
+    for i in range(1, n + 1):
+        # Deletion row: vertical moves only depend on row i-1 -> vectorised.
+        D[i, 1:] = np.minimum(M[i - 1, 1:] + oe, D[i - 1, 1:] + e)
+        # Substitution cost of row i against every column.
+        sub = np.where(av[i - 1] == bv, 0, x)
+        diag = M[i - 1, :-1] + sub
+        # Insertion is a horizontal dependency -> sequential scan in numpy
+        # would be O(m) python; do it with a tight loop only where needed.
+        row_m = M[i]
+        row_i = I[i]
+        prev_m = M[i, 0]
+        prev_i = I[i, 0]
+        for j in range(1, m + 1):
+            ins = min(prev_m + oe, prev_i + e)
+            best = min(diag[j - 1], ins, D[i, j])
+            row_i[j] = ins
+            row_m[j] = best
+            prev_m = best
+            prev_i = ins
+    return M, I, D
+
+
+def swg_score(a: str, b: str, penalties: AffinePenalties = DEFAULT_PENALTIES) -> int:
+    """Optimal gap-affine penalty of aligning ``a`` against ``b``."""
+    M, _, _ = swg_matrices(a, b, penalties)
+    return int(M[len(a), len(b)])
+
+
+def swg_align(
+    a: str, b: str, penalties: AffinePenalties = DEFAULT_PENALTIES
+) -> SwgResult:
+    """Optimal gap-affine alignment with backtrace.
+
+    Returns the minimal penalty and one optimal CIGAR (ties broken in
+    favour of match/mismatch, then insertion, then deletion — the same
+    preference order the WFA recurrence uses, so CIGARs are comparable).
+    """
+    n, m = len(a), len(b)
+    M, I, D = swg_matrices(a, b, penalties)
+    x = penalties.mismatch
+    oe = penalties.gap_open_total
+    e = penalties.gap_extend
+
+    ops: list[str] = []
+    i, j = n, m
+    # State machine over which matrix the current cell was taken from.
+    state = "M"
+    while i > 0 or j > 0:
+        if state == "M":
+            if i > 0 and j > 0:
+                sub = 0 if a[i - 1] == b[j - 1] else x
+                if M[i, j] == M[i - 1, j - 1] + sub:
+                    ops.append("M" if sub == 0 else "X")
+                    i -= 1
+                    j -= 1
+                    continue
+            if M[i, j] == I[i, j]:
+                state = "I"
+                continue
+            if M[i, j] == D[i, j]:
+                state = "D"
+                continue
+            raise AssertionError(f"backtrace stuck in M at ({i}, {j})")
+        if state == "I":
+            # I(i, j) consumes b[j-1].
+            if j <= 0:
+                raise AssertionError(f"backtrace stuck in I at ({i}, {j})")
+            ops.append("I")
+            if I[i, j] == I[i, j - 1] + e:
+                j -= 1  # extend: stay in I
+            elif I[i, j] == M[i, j - 1] + oe:
+                j -= 1
+                state = "M"
+            else:
+                raise AssertionError(f"backtrace stuck in I at ({i}, {j})")
+            continue
+        # state == "D": consumes a[i-1].
+        if i <= 0:
+            raise AssertionError(f"backtrace stuck in D at ({i}, {j})")
+        ops.append("D")
+        if D[i, j] == D[i - 1, j] + e:
+            i -= 1
+        elif D[i, j] == M[i - 1, j] + oe:
+            i -= 1
+            state = "M"
+        else:
+            raise AssertionError(f"backtrace stuck in D at ({i}, {j})")
+
+    cigar = Cigar("".join(reversed(ops)))
+    return SwgResult(score=int(M[n, m]), cigar=cigar)

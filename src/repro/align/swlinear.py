@@ -1,0 +1,88 @@
+"""Gap-linear dynamic-programming alignment (Eq. 1 of the paper).
+
+This is the classic single-matrix formulation where every gap character
+costs the same penalty ``g`` regardless of position in a gap run.  It is
+included as background substrate (Section 2.2 of the paper) and as a
+cross-check: with ``o = 0`` the gap-affine oracle must agree with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cigar import Cigar
+from .penalties import LinearPenalties
+
+__all__ = ["SwLinearResult", "sw_linear_align", "sw_linear_score"]
+
+_INF = np.int64(2**31)
+
+
+@dataclass(frozen=True)
+class SwLinearResult:
+    """Outcome of a gap-linear DP alignment."""
+
+    score: int
+    cigar: Cigar
+
+
+def _matrix(a: str, b: str, penalties: LinearPenalties) -> np.ndarray:
+    n, m = len(a), len(b)
+    g = penalties.gap
+    x = penalties.mismatch
+    H = np.full((n + 1, m + 1), _INF, dtype=np.int64)
+    H[0, :] = g * np.arange(m + 1, dtype=np.int64)
+    H[:, 0] = g * np.arange(n + 1, dtype=np.int64)
+    if n == 0 or m == 0:
+        return H
+    bv = np.frombuffer(b.encode("ascii"), dtype=np.uint8)
+    for i in range(1, n + 1):
+        sub = np.where(ord(a[i - 1]) == bv, 0, x)
+        diag = H[i - 1, :-1] + sub
+        up = H[i - 1, 1:] + g
+        row = H[i]
+        prev = row[0]
+        for j in range(1, m + 1):
+            best = min(diag[j - 1], up[j - 1], prev + g)
+            row[j] = best
+            prev = best
+    return H
+
+
+def sw_linear_score(a: str, b: str, penalties: LinearPenalties = LinearPenalties()) -> int:
+    """Optimal gap-linear penalty of aligning ``a`` against ``b``."""
+    return int(_matrix(a, b, penalties)[len(a), len(b)])
+
+
+def sw_linear_align(
+    a: str, b: str, penalties: LinearPenalties = LinearPenalties()
+) -> SwLinearResult:
+    """Optimal gap-linear alignment with backtrace (Eq. 1 + direction walk)."""
+    n, m = len(a), len(b)
+    H = _matrix(a, b, penalties)
+    g = penalties.gap
+    x = penalties.mismatch
+
+    ops: list[str] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            sub = 0 if a[i - 1] == b[j - 1] else x
+            if H[i, j] == H[i - 1, j - 1] + sub:
+                ops.append("M" if sub == 0 else "X")
+                i -= 1
+                j -= 1
+                continue
+        if j > 0 and H[i, j] == H[i, j - 1] + g:
+            ops.append("I")
+            j -= 1
+            continue
+        if i > 0 and H[i, j] == H[i - 1, j] + g:
+            ops.append("D")
+            i -= 1
+            continue
+        raise AssertionError(f"backtrace stuck at ({i}, {j})")
+
+    return SwLinearResult(score=int(H[n, m]), cigar=Cigar("".join(reversed(ops))))

@@ -1,0 +1,232 @@
+"""Command-line interface to the WFAsic reproduction.
+
+Five subcommands cover the common flows:
+
+* ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
+  or custom length/error parameters);
+* ``align`` — run a ``.seq`` file through the accelerated SoC flow or a
+  CPU baseline, printing scores/CIGARs and the cycle accounting;
+* ``report`` — the ASIC (§5.2) or FPGA (§5.3) physical summary of a
+  configuration;
+* ``stats`` — summarise a ``.seq`` file (realised error profile) and
+  run the Eq. 5 preflight against a configuration;
+* ``verify`` — a §5.1-style differential campaign.
+
+Installed as ``repro-wfasic`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .align import DEFAULT_PENALTIES
+from .reporting import format_table
+from .soc import Soc
+from .verify import EquivalenceChecker
+from .wfasic import WfasicConfig, asic_report
+from .wfasic.fpga_model import U280, fpga_report
+from .workloads import (
+    PairGenerator,
+    input_set_names,
+    make_input_set,
+    read_seq_file,
+    write_seq_file,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wfasic",
+        description="WFAsic (ICPP 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic .seq input set")
+    gen.add_argument("output", help="output .seq path")
+    gen.add_argument("-n", "--num-pairs", type=int, default=10)
+    group = gen.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--set", dest="named_set", choices=input_set_names(), help="paper input set"
+    )
+    group.add_argument("--length", type=int, help="custom nominal read length")
+    gen.add_argument("--error-rate", type=float, default=0.05)
+    gen.add_argument("--seed", type=int, default=0)
+
+    aln = sub.add_parser("align", help="align a .seq file")
+    aln.add_argument("input", help="input .seq path")
+    aln.add_argument(
+        "--engine",
+        choices=("accel", "cpu-scalar", "cpu-vector"),
+        default="accel",
+    )
+    aln.add_argument("--backtrace", action="store_true", help="recover CIGARs")
+    aln.add_argument("--aligners", type=int, default=1)
+    aln.add_argument("--parallel-sections", type=int, default=64)
+    aln.add_argument("--quiet", action="store_true", help="summary only")
+
+    rep = sub.add_parser("report", help="physical summary of a configuration")
+    rep.add_argument("--what", choices=("asic", "fpga"), default="asic")
+    rep.add_argument("--aligners", type=int, default=1)
+    rep.add_argument("--parallel-sections", type=int, default=64)
+    rep.add_argument("--k-max", type=int, default=3998)
+
+    st = sub.add_parser("stats", help="summarise a .seq input set")
+    st.add_argument("input", help="input .seq path")
+    st.add_argument("--k-max", type=int, default=3998)
+    st.add_argument("--margin", type=float, default=1.1)
+
+    ver = sub.add_parser("verify", help="differential verification campaign")
+    ver.add_argument("-n", "--num-pairs", type=int, default=30)
+    ver.add_argument("--max-len", type=int, default=100)
+    ver.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.named_set:
+        pairs = make_input_set(args.named_set, args.num_pairs, seed_offset=args.seed)
+        label = args.named_set
+    else:
+        gen = PairGenerator(
+            length=args.length,
+            error_rate=args.error_rate,
+            seed=args.seed,
+            max_text_length=args.length,
+        )
+        pairs = gen.batch(args.num_pairs)
+        label = f"{args.length}bp-{args.error_rate:.0%}"
+    count = write_seq_file(args.output, pairs)
+    print(f"wrote {count} pairs ({label}) to {args.output}")
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    pairs = read_seq_file(args.input)
+    if not pairs:
+        print("input file holds no pairs", file=sys.stderr)
+        return 1
+    config = WfasicConfig(
+        num_aligners=args.aligners,
+        parallel_sections=args.parallel_sections,
+        backtrace=args.backtrace,
+    )
+    soc = Soc(config)
+    if args.engine == "accel":
+        out = soc.run_accelerated(pairs, backtrace=args.backtrace)
+        scores, cycles = out.scores, out.total_cycles
+        failures = sum(1 for ok in out.success.values() if not ok)
+        if not args.quiet:
+            for p in pairs:
+                line = f"pair {p.pair_id}: score={scores[p.pair_id]}"
+                if not out.success[p.pair_id]:
+                    line += "  [UNSUPPORTED/FAILED]"
+                elif args.backtrace and out.cigars[p.pair_id] is not None:
+                    line += f"  cigar={out.cigars[p.pair_id].compact()}"
+                print(line)
+        print(
+            f"{len(pairs)} pairs, {failures} failures, "
+            f"{cycles} cycles total ({args.engine}, "
+            f"{args.aligners}x{args.parallel_sections}PS, "
+            f"backtrace={'on' if args.backtrace else 'off'})"
+        )
+    else:
+        out = soc.run_cpu(pairs, vector=args.engine == "cpu-vector")
+        if not args.quiet:
+            for p in pairs:
+                print(f"pair {p.pair_id}: score={out.scores[p.pair_id]}")
+        print(f"{len(pairs)} pairs, {out.cycles} CPU cycles ({args.engine})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = WfasicConfig(
+        num_aligners=args.aligners,
+        parallel_sections=args.parallel_sections,
+        k_max=args.k_max,
+        backtrace=False,
+    )
+    if args.what == "asic":
+        rep = asic_report(config)
+        rows = [
+            ["memory macros", rep.inventory.total_macros],
+            ["on-chip memory (MB)", round(rep.memory_mb, 3)],
+            ["area (mm2)", round(rep.total_area_mm2, 2)],
+            ["frequency (GHz)", rep.frequency_hz / 1e9],
+            ["power (mW)", round(rep.power_w * 1000)],
+            ["max score (Eq. 6)", config.max_score],
+        ]
+        print(format_table(["quantity", "value"], rows, title="ASIC report (GF22FDX)"))
+    else:
+        rep = fpga_report(config, U280)
+        rows = [
+            ["LUTs", f"{rep.luts} ({rep.lut_utilisation:.0%})"],
+            ["FFs", rep.ffs],
+            ["BRAM36", f"{rep.bram36:.0f} ({rep.bram_utilisation:.0%})"],
+            ["fits U280", rep.fits],
+            ["frequency (MHz)", rep.frequency_hz / 1e6],
+        ]
+        print(format_table(["resource", "value"], rows, title="FPGA report (Alveo U280)"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    pairs = read_seq_file(args.input)
+    if not pairs:
+        print("input file holds no pairs", file=sys.stderr)
+        return 1
+    from .workloads import summarise_pairs
+    from .workloads.profile import preflight
+
+    stats = summarise_pairs(pairs)
+    print(stats.describe())
+    config = WfasicConfig(k_max=args.k_max, backtrace=False)
+    ok = preflight(
+        config,
+        int(stats.mean_pattern_length),
+        stats.mean_error_rate,
+        margin=args.margin,
+    )
+    print(
+        f"Eq. 5 preflight vs Score_max={config.max_score} "
+        f"(margin {args.margin}x): {'SUPPORTED' if ok else 'AT RISK'}"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    checker = EquivalenceChecker(seed=args.seed)
+    report = checker.campaign(count=args.num_pairs, max_len=args.max_len)
+    print(
+        f"checked {report.pairs_checked} pairs against the SWG oracle, "
+        f"software WFA and the accelerator backtrace path"
+    )
+    if report.ok:
+        print("all engines agree (penalties "
+              f"x={DEFAULT_PENALTIES.mismatch} o={DEFAULT_PENALTIES.gap_open} "
+              f"e={DEFAULT_PENALTIES.gap_extend})")
+        return 0
+    for mismatch in report.mismatches[:10]:
+        print(f"MISMATCH pair {mismatch.pair_id} [{mismatch.kind}]: {mismatch.detail}")
+    return 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "align": _cmd_align,
+        "report": _cmd_report,
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

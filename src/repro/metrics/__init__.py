@@ -1,0 +1,26 @@
+"""Performance metrics: GCUPS and speedups (§5.5)."""
+
+from .analysis import BatchAnalysis, analyse_batch
+from .energy import EnergyRow, TABLE_ENERGY_ROWS, energy_per_alignment_j
+from .cups import (
+    TABLE2_REFERENCE_ROWS,
+    PlatformRow,
+    gcups,
+    gcups_from_cycles,
+    speedup,
+    swg_equivalent_cells,
+)
+
+__all__ = [
+    "BatchAnalysis",
+    "EnergyRow",
+    "TABLE_ENERGY_ROWS",
+    "PlatformRow",
+    "TABLE2_REFERENCE_ROWS",
+    "analyse_batch",
+    "energy_per_alignment_j",
+    "gcups",
+    "gcups_from_cycles",
+    "speedup",
+    "swg_equivalent_cells",
+]

@@ -1,0 +1,94 @@
+"""Performance metrics: (G)CUPS and speedups (§5.5).
+
+"Cell Updates Per Second (CUPS) is a well-known performance metric of SW
+algorithms that describes the number of cells of the DP matrix that are
+computed per second."  For WFA-based designs, which skip most cells, the
+paper computes CUPS "considering the equivalent number of DP cells that
+the SWG algorithm would need to compute the optimal alignment" — i.e.
+the full ``n x m`` matrix per pair — so that exact methods remain
+comparable across platforms.
+
+Table 2's non-WFAsic rows are published measurements from the cited
+works; they are carried here as constants with their provenance, exactly
+as the paper itself uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "swg_equivalent_cells",
+    "gcups",
+    "gcups_from_cycles",
+    "speedup",
+    "PlatformRow",
+    "TABLE2_REFERENCE_ROWS",
+]
+
+
+def swg_equivalent_cells(len_a: int, len_b: int) -> int:
+    """DP cells SWG would compute for one pair: the full ``n x m`` matrix."""
+    if len_a < 0 or len_b < 0:
+        raise ValueError("sequence lengths must be >= 0")
+    return len_a * len_b
+
+
+def gcups(total_cells: int, seconds: float) -> float:
+    """Giga cell-updates per second."""
+    if seconds <= 0:
+        raise ValueError("seconds must be > 0")
+    return total_cells / seconds / 1e9
+
+
+def gcups_from_cycles(total_cells: int, cycles: int, frequency_hz: float) -> float:
+    """GCUPS of a cycle count scaled to a clock frequency (§5.5: "The
+    GCUPS of the WFAsic accelerator on the ASIC is estimated by scaling
+    the cycle counts measured on the FPGA prototype to the ASIC
+    frequency")."""
+    if cycles <= 0:
+        raise ValueError("cycles must be > 0")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be > 0")
+    return gcups(total_cells, cycles / frequency_hz)
+
+
+def speedup(baseline_cycles: float, accelerated_cycles: float) -> float:
+    """Cycle-ratio speedup (the FPGA-prototype measurement of Fig. 9)."""
+    if accelerated_cycles <= 0 or baseline_cycles < 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / accelerated_cycles
+
+
+@dataclass(frozen=True)
+class PlatformRow:
+    """One row of Table 2."""
+
+    platform: str
+    gcups: float
+    area_mm2: float
+    source: str
+
+    @property
+    def gcups_per_mm2(self) -> float:
+        return self.gcups / self.area_mm2
+
+
+#: Published rows of Table 2 (everything except the WFAsic rows, which
+#: this repository measures).  GACT is Darwin's seed-extension module
+#: (heuristic); the EPYC rows run the WFA CPU code; WFA-GPU numbers are
+#: derived from that paper's supplementary material.
+TABLE2_REFERENCE_ROWS: tuple[PlatformRow, ...] = (
+    PlatformRow(
+        "GACT-ASIC [Heuristic]", 2129.0, 85.6, "Darwin, Turakhia et al. [20]"
+    ),
+    PlatformRow(
+        "WFA-CPU on AMD EPYC [1 thread]", 7.5, 1008.0, "paper Table 2 / [14]"
+    ),
+    PlatformRow(
+        "WFA-CPU on AMD EPYC [64 threads]", 98.0, 1008.0, "paper Table 2 / [14]"
+    ),
+    PlatformRow(
+        "WFA-GPU [NVIDIA GeForce 3080]", 476.0, 628.0, "Aguado-Puig et al. [1]"
+    ),
+)

@@ -1,0 +1,69 @@
+"""Energy accounting — the §1 portability claim, quantified.
+
+The introduction argues the WFAsic SoC "is easily portable and could be
+supplied with batteries or other portable power supplies" against
+GPU/CPU platforms that are "non-portable [and] consume excessive amounts
+of energy".  This module turns that into numbers: energy per alignment
+for each Table 2 platform, from its GCUPS (throughput) and its power.
+
+Power figures: WFAsic's 312 mW is the paper's post-PnR measurement; the
+competitor numbers are the parts' published board/TDP values (the same
+level of approximation Table 2 applies to their areas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cups import TABLE2_REFERENCE_ROWS, PlatformRow
+
+__all__ = ["EnergyRow", "energy_per_alignment_j", "TABLE_ENERGY_ROWS"]
+
+#: Published power draws (W) for the Table 2 platforms.
+_PLATFORM_POWER_W = {
+    "GACT-ASIC [Heuristic]": 15.0,  # Darwin reports ~15 W for the ASIC
+    "WFA-CPU on AMD EPYC [1 thread]": 225.0,  # EPYC 7742 TDP
+    "WFA-CPU on AMD EPYC [64 threads]": 225.0,
+    "WFA-GPU [NVIDIA GeForce 3080]": 320.0,  # RTX 3080 board power
+}
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy efficiency of one platform at the 10 kbp workload."""
+
+    platform: str
+    power_w: float
+    gcups: float
+
+    @property
+    def joules_per_alignment(self) -> float:
+        """Energy of one 10 kbp x 10 kbp alignment (1e8 SWG cells)."""
+        return energy_per_alignment_j(self.power_w, self.gcups)
+
+    @property
+    def gcups_per_watt(self) -> float:
+        return self.gcups / self.power_w
+
+
+def energy_per_alignment_j(power_w: float, gcups: float, cells: int = 10**8) -> float:
+    """Energy (J) to process ``cells`` DP-equivalent cells."""
+    if power_w <= 0 or gcups <= 0:
+        raise ValueError("power and GCUPS must be > 0")
+    seconds = cells / (gcups * 1e9)
+    return power_w * seconds
+
+
+def TABLE_ENERGY_ROWS(
+    wfasic_gcups_bt: float, wfasic_gcups_nbt: float, wfasic_power_w: float
+) -> list[EnergyRow]:
+    """The Table 2 platforms extended with energy, plus measured WFAsic."""
+    rows = [
+        EnergyRow(ref.platform, _PLATFORM_POWER_W[ref.platform], ref.gcups)
+        for ref in TABLE2_REFERENCE_ROWS
+    ]
+    rows.append(EnergyRow("WFAsic [With Backtrace]", wfasic_power_w, wfasic_gcups_bt))
+    rows.append(
+        EnergyRow("WFAsic [Without Backtrace]", wfasic_power_w, wfasic_gcups_nbt)
+    )
+    return rows

@@ -1,0 +1,7 @@
+"""Paper-style table rendering for benches and EXPERIMENTS.md."""
+
+from .figures import read_csv, write_csv
+from .schedule import render_schedule
+from .tables import format_comparison, format_table
+
+__all__ = ["format_comparison", "format_table", "read_csv", "render_schedule", "write_csv"]

@@ -1,0 +1,45 @@
+"""CSV series export for the paper figures.
+
+The benches print paper-style tables; for downstream plotting, this
+module writes the same series as plain CSV files (one per figure), with
+a header row naming the series.  No plotting library is used — the CSVs
+load directly into matplotlib/gnuplot/a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]
+) -> int:
+    """Write a figure's series; returns the number of data rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells, header names {len(headers)}"
+                )
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def read_csv(path: str | Path) -> tuple[list[str], list[list[str]]]:
+    """Read back a figure CSV: (headers, rows)."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]

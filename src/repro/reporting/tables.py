@@ -1,0 +1,65 @@
+"""Paper-style ASCII tables for benches and EXPERIMENTS.md.
+
+Every benchmark prints the rows/series its table or figure reports, in a
+format that can be pasted into EXPERIMENTS.md next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None
+) -> str:
+    """Render rows as a boxed, right-aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str,
+    note: str | None = None,
+) -> str:
+    """A table with an explanatory footer (paper-vs-measured captions)."""
+    out = format_table(headers, rows, title=title)
+    if note:
+        out += f"\n  note: {note}"
+    return out

@@ -1,0 +1,45 @@
+"""The RISC-V SoC substrate (Fig. 3): memory, buses, CPU model, driver.
+
+Public surface:
+
+* :class:`Soc` — the assembled chip with the two §5 execution flows.
+* :class:`WfasicDriver` / :class:`WfasicDevice` — the Linux-driver-style
+  register-level interface (Fig. 4).
+* :class:`SargantanaModel` / :class:`CpuTimings` — the calibrated CPU
+  cycle-cost model; :class:`CacheModel` — its memory-boundedness.
+* :class:`MainMemory`, :class:`AxiLite`, :class:`AxiFull`,
+  :class:`RegisterFile`, :class:`InterruptLine` — the SoC plumbing.
+"""
+
+from .axi import AxiFull, AxiLite
+from .cache import CacheModel
+from .cpu import SARGANTANA_FREQUENCY_HZ, CpuTimings, SargantanaModel
+from .driver import DriverError, WfasicDevice, WfasicDriver
+from .interrupt import InterruptLine
+from .memory import MainMemory, MemoryError_
+from .overlap import OverlappedOutcome, run_overlapped
+from .mmio import MmioError, Reg, RegisterFile
+from .soc import AcceleratedOutcome, CpuOutcome, Soc
+
+__all__ = [
+    "AcceleratedOutcome",
+    "AxiFull",
+    "AxiLite",
+    "CacheModel",
+    "CpuOutcome",
+    "CpuTimings",
+    "DriverError",
+    "InterruptLine",
+    "MainMemory",
+    "MemoryError_",
+    "MmioError",
+    "OverlappedOutcome",
+    "Reg",
+    "RegisterFile",
+    "SARGANTANA_FREQUENCY_HZ",
+    "SargantanaModel",
+    "Soc",
+    "WfasicDevice",
+    "WfasicDriver",
+    "run_overlapped",
+]

@@ -1,0 +1,52 @@
+"""Cache hierarchy model of the Sargantana CPU (§3).
+
+The CPU has a 32 KB L1 data cache and a 512 KB L2.  For the cost model we
+do not simulate tags; what Fig. 9/Table 2 need is the *memory-boundedness*
+of the software WFA as working sets outgrow the hierarchy ("the CPU
+execution of WFA ... is strongly limited by memory accesses as 10K-long
+sequence alignment requires a large memory footprint").
+
+:func:`CacheModel.memory_factor` returns a multiplicative stall factor
+for compute-bound loops given their working-set size: 1.0 while the set
+fits in L2, growing logarithmically beyond it and saturating — the
+classic shape of a blocked stencil losing locality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Capacity-based stall model for the Sargantana hierarchy."""
+
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 512 * 1024
+    #: Extra stall per decade of working set beyond L2 (fitted so the
+    #: 10 kbp software WFA lands in the paper's speedup band).
+    stall_per_decade: float = 0.35
+    #: Saturation: DRAM-bound loops stop getting slower eventually.
+    max_factor: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.l1_bytes <= 0 or self.l2_bytes < self.l1_bytes:
+            raise ValueError("cache sizes must satisfy 0 < L1 <= L2")
+
+    def memory_factor(self, footprint_bytes: int) -> float:
+        """Stall multiplier for a loop with the given working set."""
+        if footprint_bytes < 0:
+            raise ValueError("footprint must be >= 0")
+        if footprint_bytes <= self.l2_bytes:
+            return 1.0
+        decades = math.log10(footprint_bytes / self.l2_bytes)
+        return min(self.max_factor, 1.0 + self.stall_per_decade * decades)
+
+    def fits_l1(self, footprint_bytes: int) -> bool:
+        return footprint_bytes <= self.l1_bytes
+
+    def fits_l2(self, footprint_bytes: int) -> bool:
+        return footprint_bytes <= self.l2_bytes

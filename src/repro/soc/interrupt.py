@@ -1,0 +1,37 @@
+"""Completion signalling (§3): Idle polling or a dedicated interrupt.
+
+"The CPU triggers the start of the accelerator by writing to the Start
+register, and it checks the completion of the computation in the
+accelerator by polling the Idle register.  A dedicated interrupt could
+also be enabled to signal the job completion to the CPU."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["InterruptLine"]
+
+
+class InterruptLine:
+    """A single level-sensitive interrupt line with handler dispatch."""
+
+    def __init__(self) -> None:
+        self._handlers: list[Callable[[], None]] = []
+        self.pending = False
+        self.raised_count = 0
+
+    def connect(self, handler: Callable[[], None]) -> None:
+        """Register a handler; fired synchronously on :meth:`raise_`."""
+        self._handlers.append(handler)
+
+    def raise_(self) -> None:
+        """Assert the line: dispatch handlers, latch pending."""
+        self.pending = True
+        self.raised_count += 1
+        for handler in self._handlers:
+            handler()
+
+    def clear(self) -> None:
+        """Acknowledge (CPU-side)."""
+        self.pending = False

@@ -1,0 +1,70 @@
+"""Main-memory model of the SoC (Fig. 3).
+
+A flat byte-addressable memory with a trivial bump allocator for the
+regions the co-design flow needs (input image, result region), plus
+access counters for bandwidth sanity checks.  All addresses are offsets
+into one address space shared by the CPU (via AXI-Lite or the L2 path)
+and the WFAsic DMA (via AXI-Full).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryError_", "MainMemory"]
+
+
+class MemoryError_(RuntimeError):
+    """Out-of-range access or allocation failure."""
+
+
+class MainMemory:
+    """Byte-addressable main memory with a bump allocator."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be > 0")
+        self.size = size
+        self._data = bytearray(size)
+        self._next_free = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate(self, size: int, *, align: int = 16) -> int:
+        """Reserve ``size`` bytes; returns the base address."""
+        if size < 0:
+            raise ValueError("allocation size must be >= 0")
+        base = -(-self._next_free // align) * align
+        if base + size > self.size:
+            raise MemoryError_(
+                f"out of memory: need {size} bytes at {base}, have {self.size}"
+            )
+        self._next_free = base + size
+        return base
+
+    def reset_allocator(self) -> None:
+        """Free everything (batch-to-batch reuse)."""
+        self._next_free = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bytes still available to :meth:`allocate`."""
+        return self.size - self._next_free
+
+    # -- access ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        self.bytes_read += size
+        return bytes(self._data[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self.bytes_written += len(data)
+        self._data[addr : addr + len(data)] = data
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise MemoryError_(
+                f"access [{addr}, {addr + size}) outside memory of {self.size} bytes"
+            )

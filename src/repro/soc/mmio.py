@@ -1,0 +1,88 @@
+"""The WFAsic memory-mapped register file (§3).
+
+"The WFAsic accelerator includes a set of memory-mapped registers, and
+the CPU writes into these registers the configuration of the
+accelerator": backtrace enable, the batch MAX_READ_LEN, the DMA source
+address/size and destination address, plus the Start/Idle handshake pair
+and the interrupt enable.
+
+Registers are 32-bit, word-addressed.  Start is write-one-to-trigger;
+Idle is read-only from the CPU side.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Reg", "RegisterFile", "MmioError"]
+
+
+class MmioError(RuntimeError):
+    """Bad register access (unknown offset, read-only violation)."""
+
+
+class Reg:
+    """Register offsets (byte addresses on the AXI-Lite bus)."""
+
+    CTRL_START = 0x00  # write 1: trigger a batch
+    STATUS_IDLE = 0x04  # read-only: 1 when the accelerator is idle
+    BT_ENABLE = 0x08  # 1: generate backtrace data (§4.1)
+    MAX_READ_LEN = 0x0C  # batch MAX_READ_LEN in bases (§4.2)
+    SRC_ADDR = 0x10  # input image base address
+    SRC_SIZE = 0x14  # input image size in bytes
+    DST_ADDR = 0x18  # result region base address
+    IRQ_ENABLE = 0x1C  # 1: raise an interrupt on completion (§3)
+    DST_SIZE = 0x20  # result bytes written (read-only, set by hardware)
+
+    ALL = (
+        CTRL_START,
+        STATUS_IDLE,
+        BT_ENABLE,
+        MAX_READ_LEN,
+        SRC_ADDR,
+        SRC_SIZE,
+        DST_ADDR,
+        IRQ_ENABLE,
+        DST_SIZE,
+    )
+    READ_ONLY = (STATUS_IDLE, DST_SIZE)
+
+
+class RegisterFile:
+    """The accelerator's AXI-Lite-visible registers."""
+
+    def __init__(self) -> None:
+        self._regs: dict[int, int] = {off: 0 for off in Reg.ALL}
+        self._regs[Reg.STATUS_IDLE] = 1
+        self._start_callback = None
+
+    def on_start(self, callback) -> None:
+        """Hook invoked when the CPU writes 1 to CTRL_START."""
+        self._start_callback = callback
+
+    # -- CPU-side (AXI-Lite) access ------------------------------------------
+
+    def read(self, offset: int) -> int:
+        try:
+            return self._regs[offset]
+        except KeyError:
+            raise MmioError(f"read of unknown register offset {offset:#x}") from None
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in self._regs:
+            raise MmioError(f"write to unknown register offset {offset:#x}")
+        if offset in Reg.READ_ONLY:
+            raise MmioError(f"register {offset:#x} is read-only")
+        if not 0 <= value < 2**32:
+            raise MmioError("register values are 32-bit")
+        self._regs[offset] = value
+        if offset == Reg.CTRL_START and value & 1:
+            if self._start_callback is None:
+                raise MmioError("start triggered with no accelerator attached")
+            self._start_callback()
+
+    # -- hardware-side access ----------------------------------------------------
+
+    def hw_set(self, offset: int, value: int) -> None:
+        """Accelerator-side register update (Idle, DST_SIZE)."""
+        if offset not in self._regs:
+            raise MmioError(f"hw write to unknown register offset {offset:#x}")
+        self._regs[offset] = value & 0xFFFFFFFF

@@ -1,0 +1,187 @@
+"""The SoC top level (Fig. 3): CPU + WFAsic + memory, plus the experiment
+flows of §5.
+
+:class:`Soc` wires the pieces together and exposes the two execution
+flows every figure of the evaluation compares:
+
+* :meth:`run_accelerated` — the co-design flow of Fig. 4: stage the
+  image, drive the accelerator through the Linux-style driver, and (when
+  backtrace is on) run the CPU backtrace over the result stream.
+* :meth:`run_cpu` — the software WFA on the Sargantana core (scalar or
+  RVV vector), functionally executed by ``repro.align`` and costed by
+  the calibrated CPU model.
+
+Both return cycle breakdowns in the *FPGA-prototype sense* (one shared
+clock, as the paper measures): speedups are direct cycle ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..align.cigar import Cigar
+from ..align.wfa import WfaWorkCounters
+from ..align.wfa_vectorized import VectorizedWfaAligner
+from ..wfasic.accelerator import BatchResult
+from ..wfasic.backtrace_cpu import CpuBacktracer, CpuBacktraceWork
+from ..wfasic.config import WfasicConfig
+from ..wfasic.packets import encode_input_image, round_up_read_len
+from ..workloads.generator import SequencePair
+from .cpu import SargantanaModel
+from .driver import WfasicDevice, WfasicDriver
+from .memory import MainMemory
+
+__all__ = ["AcceleratedOutcome", "CpuOutcome", "Soc"]
+
+
+@dataclass
+class AcceleratedOutcome:
+    """Result of one accelerated batch (Fig. 4 flow)."""
+
+    batch: BatchResult
+    #: Accelerator makespan in cycles (reading + aligning + output).
+    accelerator_cycles: int
+    #: CPU cycles spent on the backtrace step (0 with backtrace off).
+    cpu_backtrace_cycles: int
+    #: CPU cycles spent programming/polling the MMIO registers (§3).
+    cpu_driver_cycles: int
+    #: Per-alignment outcomes keyed by alignment ID.
+    scores: dict[int, int]
+    success: dict[int, bool]
+    cigars: dict[int, Cigar | None]
+    backtrace_work: CpuBacktraceWork | None
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles: driver programming, alignment, then the
+        CPU backtrace (sequential, §3.1)."""
+        return (
+            self.cpu_driver_cycles
+            + self.accelerator_cycles
+            + self.cpu_backtrace_cycles
+        )
+
+
+@dataclass
+class CpuOutcome:
+    """Result of the software WFA flow on the CPU."""
+
+    cycles: int
+    scores: dict[int, int]
+    per_pair_cycles: dict[int, int]
+    work: WfaWorkCounters = field(default_factory=WfaWorkCounters)
+
+
+class Soc:
+    """The whole chip: Sargantana + WFAsic + 64 MB of main memory."""
+
+    def __init__(
+        self,
+        config: WfasicConfig | None = None,
+        *,
+        memory_bytes: int = 64 * 1024 * 1024,
+        cpu: SargantanaModel | None = None,
+    ) -> None:
+        self.config = config or WfasicConfig.paper_default()
+        self.memory = MainMemory(memory_bytes)
+        self.device = WfasicDevice(self.config, self.memory)
+        self.driver = WfasicDriver(self.device, self.memory)
+        self.cpu = cpu or SargantanaModel()
+
+    # -- accelerated flow -----------------------------------------------------
+
+    def run_accelerated(
+        self,
+        pairs: list[SequencePair],
+        *,
+        backtrace: bool | None = None,
+        separate: bool | None = None,
+    ) -> AcceleratedOutcome:
+        """Fig. 4: CPU stages inputs, WFAsic aligns, CPU backtraces.
+
+        ``backtrace`` defaults to the SoC configuration; ``separate``
+        picks the CPU backtrace method and defaults to the §4.5 rule:
+        separation only when more than one Aligner interleaves the
+        stream.
+        """
+        bt = self.config.backtrace if backtrace is None else backtrace
+        if separate is None:
+            separate = self.config.num_aligners > 1
+        max_read_len = round_up_read_len(
+            max((p.max_length for p in pairs), default=1)
+        )
+        image = encode_input_image(pairs, max_read_len)
+
+        self.memory.reset_allocator()
+        accesses_before = self.driver.axi_lite.reads + self.driver.axi_lite.writes
+        stream = self.driver.run(image, max_read_len, backtrace=bt, irq=True)
+        batch = self.device.last_batch
+        assert batch is not None
+        register_accesses = (
+            self.driver.axi_lite.reads + self.driver.axi_lite.writes
+        ) - accesses_before
+        driver_cycles = self.cpu.driver_cycles(register_accesses)
+
+        scores = {r.alignment_id: r.score for r in batch.runs}
+        success = {r.alignment_id: r.success for r in batch.runs}
+        cigars: dict[int, Cigar | None] = {r.alignment_id: None for r in batch.runs}
+        cpu_bt_cycles = 0
+        bt_work: CpuBacktraceWork | None = None
+
+        if bt:
+            cfg = self.config.with_backtrace(True)
+            sequences = {p.pair_id: (p.pattern, p.text) for p in pairs}
+            results, bt_work = CpuBacktracer(cfg).process(
+                stream, sequences, separate=separate
+            )
+            for res in results:
+                cigars[res.alignment_id] = res.cigar
+                scores[res.alignment_id] = res.score if res.success else 0
+                success[res.alignment_id] = res.success
+            cpu_bt_cycles = self.cpu.backtrace_cycles(
+                bt_work, num_alignments=len(pairs)
+            )
+
+        return AcceleratedOutcome(
+            batch=batch,
+            accelerator_cycles=batch.total_cycles,
+            cpu_backtrace_cycles=cpu_bt_cycles,
+            cpu_driver_cycles=driver_cycles,
+            scores=scores,
+            success=success,
+            cigars=cigars,
+            backtrace_work=bt_work,
+        )
+
+    # -- CPU-only flow -------------------------------------------------------------
+
+    def run_cpu(
+        self,
+        pairs: list[SequencePair],
+        *,
+        vector: bool = False,
+        backtrace: bool = True,
+    ) -> CpuOutcome:
+        """The software WFA [14] on the Sargantana core.
+
+        The algorithm really runs (via the vectorised engine, which is
+        work-count-identical to the scalar reference); the cycle total
+        comes from the calibrated cost model.
+        """
+        engine = VectorizedWfaAligner(self.config.penalties, keep_backtrace=False)
+        total_work = WfaWorkCounters()
+        per_pair: dict[int, int] = {}
+        scores: dict[int, int] = {}
+        total = 0
+        for pair in pairs:
+            result = engine.align(pair.pattern, pair.text)
+            cycles = self.cpu.wfa_cycles(
+                result.work, vector=vector, backtrace=backtrace
+            )
+            per_pair[pair.pair_id] = cycles
+            scores[pair.pair_id] = result.score
+            total += cycles
+            total_work.merge(result.work)
+        return CpuOutcome(
+            cycles=total, scores=scores, per_pair_cycles=per_pair, work=total_work
+        )

@@ -1,0 +1,14 @@
+"""Differential verification and fault injection (the §5.1 analog)."""
+
+from .equivalence import EquivalenceChecker, EquivalenceReport, Mismatch
+from .faults import FAULT_KINDS, FaultCampaign, FaultKind, FaultOutcome
+
+__all__ = [
+    "EquivalenceChecker",
+    "EquivalenceReport",
+    "FAULT_KINDS",
+    "FaultCampaign",
+    "FaultKind",
+    "FaultOutcome",
+    "Mismatch",
+]

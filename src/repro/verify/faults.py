@@ -1,0 +1,126 @@
+"""Fault injection — the §5.1 robustness campaign.
+
+"To check that the WFAsic does not cause the CPU to hang in case of
+receiving broken data, we intentionally send data in different
+unexpected formats to the WFAsic.  In these tests, we did not observe
+any CPU freeze."
+
+The simulator analog: mutate well-formed input images in targeted ways
+and require that the whole flow either completes (with Success cleared
+for the broken pairs) or raises a *well-typed* error — never hangs,
+never crashes with an unrelated exception, and never corrupts the
+results of the surrounding healthy pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..soc.memory import MemoryError_
+from ..wfasic.accelerator import WfasicAccelerator
+from ..wfasic.backtrace_cpu import BacktraceStreamError
+from ..wfasic.config import WfasicConfig
+
+__all__ = ["FaultKind", "FaultOutcome", "FaultCampaign", "FAULT_KINDS"]
+
+#: Exceptions that count as *graceful* rejection of broken data.
+_GRACEFUL = (ValueError, BacktraceStreamError, MemoryError_)
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One way of breaking an input image."""
+
+    name: str
+    description: str
+
+
+FAULT_KINDS: tuple[FaultKind, ...] = (
+    FaultKind("garbage_bases", "replace sequence bytes with random garbage"),
+    FaultKind("huge_length", "declare a length far beyond MAX_READ_LEN"),
+    FaultKind("negative_ish_length", "declare a length of 2^32 - 1"),
+    FaultKind("truncated_image", "cut the image mid-record"),
+    FaultKind("oversized_image", "append trailing garbage sections"),
+    FaultKind("zeroed_record", "zero out an entire pair record"),
+    FaultKind("random_flips", "flip random bytes across the image"),
+)
+
+
+@dataclass
+class FaultOutcome:
+    """Result of injecting one fault."""
+
+    kind: str
+    completed: bool
+    graceful_error: str | None
+    unsupported_pairs: int
+
+    @property
+    def hung_or_crashed(self) -> bool:
+        return not self.completed and self.graceful_error is None
+
+
+@dataclass
+class FaultCampaign:
+    """Run every fault kind against a configured accelerator."""
+
+    config: WfasicConfig = field(
+        default_factory=lambda: WfasicConfig.paper_default(backtrace=False)
+    )
+    seed: int = 0
+
+    def corrupt(self, image: bytes, kind: FaultKind, record_size: int) -> bytes:
+        rng = random.Random(self.seed + hash(kind.name) % 1000)
+        data = bytearray(image)
+        if kind.name == "garbage_bases":
+            start = 3 * 16
+            for _ in range(32):
+                if len(data) > start:
+                    data[rng.randrange(start, len(data))] = rng.randrange(256)
+        elif kind.name == "huge_length":
+            data[16:20] = (2**20).to_bytes(4, "little")
+        elif kind.name == "negative_ish_length":
+            data[32:36] = (2**32 - 1).to_bytes(4, "little")
+        elif kind.name == "truncated_image":
+            del data[len(data) - record_size // 2 :]
+        elif kind.name == "oversized_image":
+            data.extend(rng.randbytes(record_size // 2 // 16 * 16))
+        elif kind.name == "zeroed_record":
+            data[:record_size] = bytes(record_size)
+        elif kind.name == "random_flips":
+            for _ in range(64):
+                data[rng.randrange(len(data))] ^= 0xFF
+        else:
+            raise ValueError(f"unknown fault kind {kind.name!r}")
+        return bytes(data)
+
+    def run_one(
+        self, image: bytes, kind: FaultKind, max_read_len: int, record_size: int
+    ) -> FaultOutcome:
+        broken = self.corrupt(image, kind, record_size)
+        accel = WfasicAccelerator(self.config)
+        try:
+            batch = accel.run_image(broken, max_read_len)
+        except _GRACEFUL as exc:
+            return FaultOutcome(
+                kind=kind.name,
+                completed=False,
+                graceful_error=f"{type(exc).__name__}: {exc}",
+                unsupported_pairs=0,
+            )
+        rejected = sum(1 for r in batch.runs if not r.success)
+        return FaultOutcome(
+            kind=kind.name,
+            completed=True,
+            graceful_error=None,
+            unsupported_pairs=rejected,
+        )
+
+    def run_all(
+        self, image: bytes, max_read_len: int, record_size: int
+    ) -> list[FaultOutcome]:
+        return [
+            self.run_one(image, kind, max_read_len, record_size)
+            for kind in FAULT_KINDS
+        ]

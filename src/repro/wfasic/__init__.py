@@ -1,0 +1,95 @@
+"""The WFAsic accelerator model — the paper's primary contribution.
+
+Public surface:
+
+* :class:`WfasicConfig` — static configuration (Aligners, parallel
+  sections, ``k_max``, MAX_READ_LEN, backtrace enable; Eq. 5/6 limits).
+* :class:`WfasicAccelerator` — the top level (Fig. 5): runs input images
+  through DMA/Extractor/Aligners/Collector with cycle accounting.
+* :class:`Aligner` — one Aligner module (Extend/Compute parallel
+  sections over banked wavefront vectors).
+* :class:`CpuBacktracer` — the CPU-side backtrace over the streamed
+  origin data, with and without data separation (§4.5).
+* :func:`asic_report` — GF22FDX area/memory/frequency/power model.
+* :func:`max_efficient_aligners` — Eq. 7.
+* ``packets`` — byte-exact memory formats of the co-design interface.
+"""
+
+from .accelerator import (
+    BatchResult,
+    ScheduledAlignment,
+    WfasicAccelerator,
+    max_efficient_aligners,
+    schedule_makespan,
+)
+from .aligner import Aligner, AlignerRun, AlignerStats, AlignerTimings
+from .aligner_ram import RamAccurateAligner
+from .asic_model import (
+    GF22_FREQUENCY_HZ,
+    GF22_POWER_W,
+    AsicReport,
+    MacroInventory,
+    asic_report,
+)
+from .backtrace_cpu import (
+    BacktraceStreamError,
+    CpuBacktraceResult,
+    CpuBacktraceWork,
+    CpuBacktracer,
+    StepIndex,
+)
+from .collector import CollectorBT, CollectorNBT, CollectorOutput
+from .compute import ComputeStage, ComputeTimings
+from .config import AXI_DATA_BYTES, BASES_PER_RAM_WORD, WfasicConfig
+from .dma import DmaTimings, read_pair_cycles, stream_cycles
+from .extend import ExtendStage, ExtendTimings
+from .extractor import ExtractedJob, Extractor
+from .fpga_model import U280, FpgaReport, fpga_report
+from .fifo import FifoError, ShowAheadFifo
+from .pipeline import FluidPipelineSim, PipelineJob, PipelineResult
+
+__all__ = [
+    "AXI_DATA_BYTES",
+    "Aligner",
+    "AlignerRun",
+    "AlignerStats",
+    "AlignerTimings",
+    "AsicReport",
+    "BASES_PER_RAM_WORD",
+    "BacktraceStreamError",
+    "BatchResult",
+    "CollectorBT",
+    "CollectorNBT",
+    "CollectorOutput",
+    "ComputeStage",
+    "ComputeTimings",
+    "CpuBacktraceResult",
+    "CpuBacktraceWork",
+    "CpuBacktracer",
+    "DmaTimings",
+    "ExtendStage",
+    "ExtendTimings",
+    "ExtractedJob",
+    "FluidPipelineSim",
+    "FpgaReport",
+    "Extractor",
+    "FifoError",
+    "GF22_FREQUENCY_HZ",
+    "GF22_POWER_W",
+    "MacroInventory",
+    "PipelineJob",
+    "PipelineResult",
+    "RamAccurateAligner",
+    "ScheduledAlignment",
+    "ShowAheadFifo",
+    "StepIndex",
+    "U280",
+    "WfasicAccelerator",
+    "WfasicConfig",
+    "asic_report",
+    "fpga_report",
+    "max_efficient_aligners",
+    "read_pair_cycles",
+    "schedule_makespan",
+    "stream_cycles",
+]

@@ -1,0 +1,198 @@
+"""WFAsic top level (§4.1 / Fig. 5): DMA -> Extractor -> Aligners -> Collector.
+
+The accelerator streams pair records from main memory into the Input
+FIFO; the Extractor dispatches each pair to an idle Aligner; results flow
+through the active Collector and the Output FIFO back to memory.
+
+Batch timing is an event schedule over two serial resources:
+
+* the **input path** (DMA + Extractor): one pair record at a time, at the
+  Table-1 reading cost — and a pair can only be extracted once an Aligner
+  is idle to receive it (§4.2),
+* the **output path** (Collector + DMA): all result transactions share
+  the 16-byte output port.
+
+With one Aligner the batch time is essentially ``sum(read_i + align_i)``;
+with ``A`` Aligners reads pipeline against alignments and the makespan
+saturates once ``A`` exceeds Eq. 7's ``MaxAligners`` — this schedule is
+what Figure 10 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aligner import Aligner, AlignerRun, AlignerTimings
+from .collector import CollectorBT, CollectorNBT, CollectorOutput
+from .config import WfasicConfig
+from .dma import DmaTimings, read_pair_cycles, stream_cycles
+from .extractor import ExtractedJob, Extractor
+
+__all__ = ["ScheduledAlignment", "BatchResult", "WfasicAccelerator", "max_efficient_aligners"]
+
+
+def schedule_makespan(
+    reading_cycles: int, alignment_cycles: list[int], num_aligners: int
+) -> int:
+    """Makespan of a batch under the §4.1 schedule, from known cycle costs.
+
+    The input path streams one pair at a time (a pair is read only when an
+    Aligner is idle to receive it, §4.2); alignments proceed in parallel on
+    ``num_aligners`` Aligners.  This is the same schedule
+    :class:`WfasicAccelerator` executes — exposed separately so scalability
+    sweeps (Fig. 10) can re-schedule measured per-pair costs without
+    re-simulating every alignment.
+    """
+    if num_aligners < 1:
+        raise ValueError("num_aligners must be >= 1")
+    if reading_cycles < 0:
+        raise ValueError("reading_cycles must be >= 0")
+    reader_free = 0
+    aligner_free = [0] * num_aligners
+    for cycles in alignment_cycles:
+        idx = min(range(num_aligners), key=aligner_free.__getitem__)
+        read_end = max(reader_free, aligner_free[idx]) + reading_cycles
+        reader_free = read_end
+        aligner_free[idx] = read_end + cycles
+    return max(aligner_free) if alignment_cycles else 0
+
+
+def max_efficient_aligners(alignment_cycles: int, reading_cycles: int) -> int:
+    """Eq. 7: ``MaxAligners = roundup(Alignment_cycles / Reading_cycles) + 1``.
+
+    Beyond this count the input path is saturated and extra Aligners idle.
+    """
+    if reading_cycles <= 0:
+        raise ValueError("reading_cycles must be > 0")
+    if alignment_cycles < 0:
+        raise ValueError("alignment_cycles must be >= 0")
+    return -(-alignment_cycles // reading_cycles) + 1
+
+
+@dataclass(frozen=True)
+class ScheduledAlignment:
+    """One pair's trip through the accelerator."""
+
+    alignment_id: int
+    aligner_index: int
+    read_start: int
+    read_end: int
+    align_end: int
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one accelerator batch."""
+
+    runs: list[AlignerRun]
+    schedule: list[ScheduledAlignment]
+    output: CollectorOutput
+    #: Makespan in accelerator clock cycles (compute + input path).
+    total_cycles: int
+    #: Cycles the output path needs for all result transactions.
+    output_cycles: int
+    max_read_len: int
+    reading_cycles_per_pair: int
+    config: WfasicConfig = field(repr=False, default_factory=WfasicConfig)
+
+    @property
+    def alignment_cycles(self) -> list[int]:
+        return [run.cycles for run in self.runs]
+
+    def run_for(self, alignment_id: int) -> AlignerRun:
+        for run in self.runs:
+            if run.alignment_id == alignment_id:
+                return run
+        raise KeyError(f"no run with alignment ID {alignment_id}")
+
+
+class WfasicAccelerator:
+    """A configured WFAsic instance operating on input images."""
+
+    def __init__(
+        self,
+        config: WfasicConfig | None = None,
+        *,
+        aligner_timings: AlignerTimings | None = None,
+        dma_timings: DmaTimings | None = None,
+    ) -> None:
+        self.config = config or WfasicConfig.paper_default()
+        self.aligner_timings = aligner_timings or AlignerTimings()
+        self.dma_timings = dma_timings or DmaTimings()
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_image(self, image: bytes, max_read_len: int) -> BatchResult:
+        """Process a whole input image (Fig. 4 steps 2-3).
+
+        ``max_read_len`` is the batch MAX_READ_LEN the CPU configured over
+        AXI-Lite; it must not exceed the hardware limit.
+        """
+        cfg = self.config
+        if max_read_len > cfg.max_read_len:
+            raise ValueError(
+                f"batch MAX_READ_LEN {max_read_len} exceeds the hardware "
+                f"limit {cfg.max_read_len}"
+            )
+        extractor = Extractor(max_read_len)
+        jobs = extractor.extract_image(image)
+        return self._run_jobs(jobs, max_read_len)
+
+    def _run_jobs(self, jobs: list[ExtractedJob], max_read_len: int) -> BatchResult:
+        cfg = self.config
+        read_cycles = read_pair_cycles(max_read_len, self.dma_timings)
+
+        # One Aligner object per hardware Aligner: they are stateless
+        # between runs, but keeping instances mirrors the structure and
+        # lets per-aligner stats accumulate if callers want them.
+        aligners = [Aligner(cfg, self.aligner_timings) for _ in range(cfg.num_aligners)]
+
+        runs: list[AlignerRun] = []
+        schedule: list[ScheduledAlignment] = []
+        reader_free = 0
+        aligner_free = [0] * cfg.num_aligners
+
+        for job in jobs:
+            # The Extractor waits for an idle Aligner before pulling the
+            # next record (§4.2).
+            idx = min(range(cfg.num_aligners), key=aligner_free.__getitem__)
+            read_start = max(reader_free, aligner_free[idx])
+            read_end = read_start + read_cycles
+            reader_free = read_end
+
+            run = aligners[idx].run(job)
+            align_end = read_end + run.cycles
+            aligner_free[idx] = align_end
+            runs.append(run)
+            schedule.append(
+                ScheduledAlignment(
+                    alignment_id=job.alignment_id,
+                    aligner_index=idx,
+                    read_start=read_start,
+                    read_end=read_end,
+                    align_end=align_end,
+                )
+            )
+
+        # Result framing through the active Collector.
+        if cfg.backtrace:
+            collector = CollectorBT()
+            output = collector.interleave(runs, cfg.num_aligners)
+        else:
+            output = CollectorNBT().collect(runs)
+
+        output_cycles = stream_cycles(output.num_transactions, self.dma_timings)
+        compute_makespan = max(aligner_free) if jobs else 0
+        # Output transactions stream concurrently with computation; the
+        # batch is done when both paths drain.
+        total = max(compute_makespan, output_cycles)
+        return BatchResult(
+            runs=runs,
+            schedule=schedule,
+            output=output,
+            total_cycles=total,
+            output_cycles=output_cycles,
+            max_read_len=max_read_len,
+            reading_cycles_per_pair=read_cycles,
+            config=cfg,
+        )

@@ -1,0 +1,160 @@
+"""ASIC implementation model (§4.6 / §5.2): macros, memory, area, power.
+
+The paper's physical numbers for the shipped configuration (GF22FDX,
+post-PnR): 1.6 mm², 0.48 MB of on-chip memory in 260 register-file
+macros occupying 85 % of the area, 1.1 GHz typical corner, 312 mW.
+
+Everything *structural* is derived here from the architecture itself:
+
+* macro inventory — per Aligner, ``2 x n_ps`` Input_Seq replicas (a and b
+  per parallel section, §4.3), ``n_ps + 2`` M wavefront banks (Fig. 6's
+  duplicated edge banks) and ``n_ps`` merged I/D banks (§4.6), plus the
+  two FIFOs; for the shipped 1 x 64 configuration this is
+  128 + 66 + 64 + 2 = **260 macros**, the paper's exact count;
+* memory bytes — from the RAM geometries (depth x width), landing at
+  ~0.476 MB ≈ the paper's 0.48 MB.
+
+What cannot be derived without a PDK — frequency, power, and the silicon
+density of a register-file macro — is carried as named constants fitted
+once to the paper's reported figures and documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import WfasicConfig
+from .rams import wavefront_geometry
+
+__all__ = [
+    "GF22_FREQUENCY_HZ",
+    "GF22_SYNTHESIS_FREQUENCY_HZ",
+    "GF22_POWER_W",
+    "MacroInventory",
+    "AsicReport",
+    "asic_report",
+    "SARGANTANA_AREA_MM2",
+    "SARGANTANA_FREQUENCY_HZ",
+]
+
+#: Post-PnR frequency, typical corner, 0.8 V, 85 C (§5.2).
+GF22_FREQUENCY_HZ = 1.1e9
+#: Post-synthesis frequency (§5.2).
+GF22_SYNTHESIS_FREQUENCY_HZ = 1.5e9
+#: Post-PnR power of the shipped configuration (§5.2).
+GF22_POWER_W = 0.312
+
+#: Sargantana CPU physicals (§3, [19]).
+SARGANTANA_AREA_MM2 = 1.37
+SARGANTANA_FREQUENCY_HZ = 1.26e9
+
+#: Memory-macro silicon density (bytes per mm²), fitted once from the
+#: paper: 0.48 MB occupies 85 % of 1.6 mm² -> ~0.35 MB/mm².
+_MACRO_BYTES_PER_MM2 = 476_000 / (0.85 * 1.6)
+
+#: Fraction of total area taken by memory macros in the shipped design
+#: (§5.2: "260 memory macros that occupy 85% of the area").
+_MEMORY_AREA_FRACTION = 0.85
+
+#: Offset-word width in the wavefront RAMs: offsets up to 10 000 plus the
+#: invalid-negative encoding fit 16 bits.
+_WAVEFRONT_WORD_BYTES = 2
+
+#: Input_Seq RAM word width (§4.2): 16 bases x 2 bits = 4 bytes.
+_INPUT_SEQ_WORD_BYTES = 4
+
+#: FIFO geometry (§4.6): 16 bytes x 256 words, two instances.
+_FIFO_BYTES = 16 * 256
+
+
+@dataclass(frozen=True)
+class MacroInventory:
+    """Counts and sizes of every memory macro class in a configuration."""
+
+    input_seq_macros: int
+    input_seq_bytes_each: int
+    m_wavefront_macros: int
+    m_wavefront_bytes_each: int
+    id_wavefront_macros: int
+    id_wavefront_bytes_each: int
+    fifo_macros: int
+    fifo_bytes_each: int
+
+    @property
+    def total_macros(self) -> int:
+        return (
+            self.input_seq_macros
+            + self.m_wavefront_macros
+            + self.id_wavefront_macros
+            + self.fifo_macros
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.input_seq_macros * self.input_seq_bytes_each
+            + self.m_wavefront_macros * self.m_wavefront_bytes_each
+            + self.id_wavefront_macros * self.id_wavefront_bytes_each
+            + self.fifo_macros * self.fifo_bytes_each
+        )
+
+
+def macro_inventory(config: WfasicConfig) -> MacroInventory:
+    """Enumerate the memory macros of a configuration (§4.6)."""
+    geo = wavefront_geometry(config)
+    a = config.num_aligners
+    n_ps = config.parallel_sections
+    return MacroInventory(
+        # Each parallel section replicates both sequences (§4.3).
+        input_seq_macros=a * 2 * n_ps,
+        input_seq_bytes_each=config.input_seq_ram_words * _INPUT_SEQ_WORD_BYTES,
+        m_wavefront_macros=a * geo.m_banks,
+        m_wavefront_bytes_each=geo.m_words_per_bank * _WAVEFRONT_WORD_BYTES,
+        id_wavefront_macros=a * geo.id_banks,
+        id_wavefront_bytes_each=geo.id_words_per_bank * _WAVEFRONT_WORD_BYTES,
+        fifo_macros=2,
+        fifo_bytes_each=_FIFO_BYTES,
+    )
+
+
+@dataclass(frozen=True)
+class AsicReport:
+    """Physical estimate of one configuration in GF22FDX."""
+
+    inventory: MacroInventory
+    memory_mb: float
+    memory_area_mm2: float
+    total_area_mm2: float
+    frequency_hz: float
+    power_w: float
+
+    @property
+    def soc_area_mm2(self) -> float:
+        """Accelerator + Sargantana, the ~3 mm² chip of §1."""
+        return self.total_area_mm2 + SARGANTANA_AREA_MM2
+
+
+def asic_report(config: WfasicConfig) -> AsicReport:
+    """Area/memory/frequency/power estimate for a configuration.
+
+    Area scales with the macro inventory at the fitted register-file
+    density, keeping the paper's 85 % memory-area fraction (logic area —
+    the Extend/Compute datapaths — scales with the same parallel-section
+    count that sets the macro count, so the fraction is stable to first
+    order).  Power scales with area; frequency is configuration-
+    independent to first order (the critical path is inside one parallel
+    section).
+    """
+    inv = macro_inventory(config)
+    memory_mm2 = inv.total_bytes / _MACRO_BYTES_PER_MM2
+    total_mm2 = memory_mm2 / _MEMORY_AREA_FRACTION
+    paper_inv_bytes = 475_716  # shipped configuration, for power scaling
+    power = GF22_POWER_W * (inv.total_bytes / paper_inv_bytes)
+    return AsicReport(
+        inventory=inv,
+        memory_mb=inv.total_bytes / 1e6,
+        memory_area_mm2=memory_mm2,
+        total_area_mm2=total_mm2,
+        frequency_hz=GF22_FREQUENCY_HZ,
+        power_w=power,
+    )

@@ -1,0 +1,464 @@
+"""CPU-side backtrace (§4.5).
+
+When backtrace is enabled the accelerator only *generates* origin data;
+the walk happens on the CPU after the batch completes (Fig. 4 step 4).
+This module implements both CPU methods the paper ships:
+
+* **data separation** (multi-Aligner): the interleaved transaction stream
+  is first demultiplexed by alignment ID — every payload byte is copied
+  to a per-alignment region, a memory-bound step that dominates the
+  backtrace-enabled runtime (Fig. 11's [Sep] bars);
+* **no separation** (single-Aligner): each alignment's data is already
+  consecutive; the CPU only scans for the Last-flag boundaries.
+
+After reassembly the CPU walks the 5-bit origin codes from the final cell
+``(s_final, k_final)`` down to score 0.  The stream carries *no offsets*,
+so the walk yields only the difference operations (X/I/D); the positions
+of the matches between them are reconstructed by traversing the two
+sequences and greedily inserting matches — valid because WFA's extend()
+is maximal, so every match run on an optimal path is exactly the greedy
+run (§4.5: "the CPU traverses the two sequences and inserts all the
+necessary matches between the differences").
+
+Parsing is only possible because the per-step block layout is
+deterministic (see ``repro.align.lattice``): given the penalties,
+``k_max`` and the sequence lengths, the CPU recomputes every step's score
+and clamped band, hence each cell's block and slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.cigar import Cigar
+from ..align.kernels import (
+    ORIGIN_D_EXT_BIT,
+    ORIGIN_I_EXT_BIT,
+    ORIGIN_M_DEL,
+    ORIGIN_M_INS,
+    ORIGIN_M_SUB,
+)
+from ..align.lattice import ScoreLattice
+from .config import WfasicConfig
+from .packets import (
+    BT_PAYLOAD_BYTES,
+    SECTION_BYTES,
+    unpack_bt_final_payload,
+    unpack_origin_codes,
+)
+
+__all__ = [
+    "BacktraceStreamError",
+    "CpuBacktraceWork",
+    "CpuBacktraceResult",
+    "parse_bt_stream",
+    "StepIndex",
+    "CpuBacktracer",
+]
+
+
+class BacktraceStreamError(RuntimeError):
+    """The backtrace stream is inconsistent with the deterministic layout."""
+
+
+@dataclass
+class CpuBacktraceWork:
+    """Abstract CPU work; ``repro.soc.cpu`` converts it to cycles."""
+
+    #: Transactions read from memory (both methods scan the whole stream).
+    transactions_scanned: int = 0
+    #: Payload bytes copied during data separation (0 without separation).
+    separation_bytes: int = 0
+    #: Difference operations recovered by origin walks.
+    walk_ops: int = 0
+    #: Match characters inserted by the sequence traversal.
+    match_chars: int = 0
+    #: Steps indexed while rebuilding the deterministic layout.
+    index_steps: int = 0
+
+    def merge(self, other: "CpuBacktraceWork") -> None:
+        self.transactions_scanned += other.transactions_scanned
+        self.separation_bytes += other.separation_bytes
+        self.walk_ops += other.walk_ops
+        self.match_chars += other.match_chars
+        self.index_steps += other.index_steps
+
+
+@dataclass(frozen=True)
+class CpuBacktraceResult:
+    """One alignment's CPU-side outcome."""
+
+    alignment_id: int
+    success: bool
+    score: int
+    cigar: Cigar | None
+
+
+@dataclass(frozen=True)
+class _ParsedAlignment:
+    alignment_id: int
+    success: bool
+    score: int
+    k_reached: int
+    payload: bytes  # reassembled origin blocks (multiple of 40 bytes)
+
+
+def parse_bt_stream(
+    stream: bytes, *, separate: bool, work: CpuBacktraceWork
+) -> list[_ParsedAlignment]:
+    """Demultiplex a raw BT stream into per-alignment payloads.
+
+    ``separate=True`` models the multi-Aligner method (§4.5): payloads are
+    gathered by alignment ID regardless of interleaving, and every payload
+    byte is charged to ``work.separation_bytes``.  ``separate=False``
+    requires each alignment's transactions to be consecutive (single
+    Aligner) and only scans for boundaries.
+    """
+    if len(stream) % SECTION_BYTES:
+        raise BacktraceStreamError("stream length is not a multiple of 16 bytes")
+    raw = np.frombuffer(stream, dtype=np.uint8).reshape(-1, SECTION_BYTES)
+    n_txn = len(raw)
+    work.transactions_scanned += n_txn
+    if n_txn == 0:
+        return []
+
+    counters = (
+        raw[:, 10].astype(np.int64)
+        | (raw[:, 11].astype(np.int64) << 8)
+        | (raw[:, 12].astype(np.int64) << 16)
+    )
+    flags = (
+        raw[:, 13].astype(np.int64)
+        | (raw[:, 14].astype(np.int64) << 8)
+        | (raw[:, 15].astype(np.int64) << 16)
+    )
+    ids = flags & 0x7FFFFF
+    last = (flags >> 23).astype(bool)
+
+    out: list[_ParsedAlignment] = []
+
+    def finish(aid: int, idxs: np.ndarray) -> None:
+        sub_counters = counters[idxs]
+        sub_last = last[idxs]
+        if int(sub_last.sum()) != 1 or not sub_last[np.argmax(sub_counters)]:
+            raise BacktraceStreamError(
+                f"alignment {aid}: malformed Last-flag structure"
+            )
+        order = np.argsort(sub_counters, kind="stable")
+        idxs = idxs[order]
+        final_idx = idxs[-1]
+        data_idxs = idxs[:-1]
+        payload = raw[data_idxs, :BT_PAYLOAD_BYTES].tobytes()
+        success, k_reached, score = unpack_bt_final_payload(
+            raw[final_idx, :BT_PAYLOAD_BYTES].tobytes()
+        )
+        out.append(
+            _ParsedAlignment(
+                alignment_id=aid,
+                success=success,
+                score=score,
+                k_reached=k_reached,
+                payload=payload,
+            )
+        )
+
+    if separate:
+        # Data separation: move every alignment's payload bytes together.
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups = np.split(order, boundaries)
+        for idxs in groups:
+            aid = int(ids[idxs[0]])
+            work.separation_bytes += len(idxs) * BT_PAYLOAD_BYTES
+            finish(aid, idxs)
+        # Preserve completion order (order of Last transactions).
+        finish_order = {int(ids[i]): pos for pos, i in enumerate(np.flatnonzero(last))}
+        out.sort(key=lambda p: finish_order.get(p.alignment_id, 0))
+    else:
+        # No separation: alignments are consecutive; split at Last flags.
+        ends = np.flatnonzero(last)
+        start = 0
+        for end in ends:
+            idxs = np.arange(start, end + 1)
+            aid = int(ids[end])
+            if not (ids[idxs] == aid).all():
+                raise BacktraceStreamError(
+                    "interleaved stream passed to the no-separation method"
+                )
+            finish(aid, idxs)
+            start = end + 1
+        if start != n_txn:
+            raise BacktraceStreamError("trailing transactions without a Last flag")
+    return out
+
+
+class StepIndex:
+    """Deterministic (score, diagonal) -> (block, slot) map for one pair.
+
+    Mirrors exactly the Aligner's emission loop: lattice scores in
+    ascending order, theoretical M band clamped to the vector length and
+    to the matrix extent, ``ceil(width / n_ps)`` blocks per step.
+    """
+
+    def __init__(
+        self,
+        config: WfasicConfig,
+        n: int,
+        m: int,
+        s_final: int,
+        lattice: ScoreLattice | None = None,
+    ) -> None:
+        self.config = config
+        self.n_ps = config.parallel_sections
+        lattice = lattice or ScoreLattice(config.penalties)
+        lo_clamp = max(-config.k_max, -n)
+        hi_clamp = min(config.k_max, m)
+        g = config.penalties.score_granularity
+
+        self._steps: dict[int, tuple[int, int, int]] = {}  # s -> (lo, hi, base)
+        base = 0
+        for s in range(g, s_final + 1, g):
+            band = lattice.m_band(s)
+            if band is None:
+                continue
+            band = band.clamped(lo_clamp, hi_clamp)
+            if band is None:
+                continue
+            self._steps[s] = (band.lo, band.hi, base)
+            base += -(-(band.hi - band.lo + 1) // self.n_ps)
+        self.total_blocks = base
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._steps)
+
+    def locate(self, s: int, k: int) -> tuple[int, int]:
+        """Block index and slot of cell ``(s, k)``."""
+        try:
+            lo, hi, base = self._steps[s]
+        except KeyError:
+            raise BacktraceStreamError(f"no wavefront step at score {s}") from None
+        if not lo <= k <= hi:
+            raise BacktraceStreamError(
+                f"diagonal {k} outside band {lo}..{hi} at score {s}"
+            )
+        cell = k - lo
+        return base + cell // self.n_ps, cell % self.n_ps
+
+
+class CpuBacktracer:
+    """The full CPU backtrace flow over a batch result stream."""
+
+    def __init__(self, config: WfasicConfig) -> None:
+        self.config = config
+        self._lattice = ScoreLattice(config.penalties)
+
+    def process(
+        self,
+        stream: bytes,
+        sequences: dict[int, tuple[str, str]],
+        *,
+        separate: bool,
+    ) -> tuple[list[CpuBacktraceResult], CpuBacktraceWork]:
+        """Backtrace every alignment in a BT result stream.
+
+        ``sequences`` maps alignment IDs to the (pattern, text) pairs the
+        CPU already holds from building the input image.
+        """
+        work = CpuBacktraceWork()
+        parsed = parse_bt_stream(stream, separate=separate, work=work)
+        results: list[CpuBacktraceResult] = []
+        for entry in parsed:
+            if not entry.success:
+                results.append(
+                    CpuBacktraceResult(
+                        alignment_id=entry.alignment_id,
+                        success=False,
+                        score=0,
+                        cigar=None,
+                    )
+                )
+                continue
+            try:
+                a, b = sequences[entry.alignment_id]
+            except KeyError:
+                raise BacktraceStreamError(
+                    f"result for unknown alignment ID {entry.alignment_id}"
+                ) from None
+            cigar = self._backtrace_one(entry, a, b, work)
+            results.append(
+                CpuBacktraceResult(
+                    alignment_id=entry.alignment_id,
+                    success=True,
+                    score=entry.score,
+                    cigar=cigar,
+                )
+            )
+        return results, work
+
+    # -- internals ------------------------------------------------------------
+
+    def _backtrace_one(
+        self, entry: _ParsedAlignment, a: str, b: str, work: CpuBacktraceWork
+    ) -> Cigar:
+        n, m = len(a), len(b)
+        index = StepIndex(self.config, n, m, entry.score, self._lattice)
+        work.index_steps += index.num_steps
+        expected_blocks = index.total_blocks
+        block_bytes = self.config.bt_block_bytes
+        if len(entry.payload) % block_bytes:
+            raise BacktraceStreamError(
+                f"alignment {entry.alignment_id}: payload is not whole "
+                f"{block_bytes}-byte blocks"
+            )
+        have_blocks = len(entry.payload) // block_bytes
+        if have_blocks != expected_blocks:
+            raise BacktraceStreamError(
+                f"alignment {entry.alignment_id}: {have_blocks} blocks in "
+                f"stream but the layout implies {expected_blocks}"
+            )
+        if entry.k_reached != m - n:
+            raise BacktraceStreamError(
+                f"alignment {entry.alignment_id}: final diagonal "
+                f"{entry.k_reached} != m - n = {m - n}"
+            )
+
+        ops_rev = self._walk(entry, index, work)
+        cigar = self._insert_matches(ops_rev[::-1], a, b, work)
+        return cigar
+
+    def _code_at(
+        self, payload: bytes, cache: dict[int, np.ndarray], block: int, slot: int
+    ) -> int:
+        codes = cache.get(block)
+        if codes is None:
+            bb = self.config.bt_block_bytes
+            raw = payload[block * bb : (block + 1) * bb]
+            codes = unpack_origin_codes(raw, self.config.parallel_sections)
+            cache[block] = codes
+        return int(codes[slot])
+
+    def _walk(
+        self, entry: _ParsedAlignment, index: StepIndex, work: CpuBacktraceWork
+    ) -> list[str]:
+        """Origin-chain walk from the final cell down to score 0."""
+        p = self.config.penalties
+        x, oe, e = p.mismatch, p.gap_open_total, p.gap_extend
+        cache: dict[int, np.ndarray] = {}
+        ops: list[str] = []
+        matrix = "M"
+        s = entry.score
+        k = entry.k_reached
+        # Each op iteration lowers s by at least 1 and every matrix switch
+        # is followed by one, so 2*score + slack bounds the walk.
+        fuel = 2 * entry.score + 16
+
+        while s > 0:
+            if fuel <= 0:
+                raise BacktraceStreamError(
+                    f"alignment {entry.alignment_id}: origin walk did not "
+                    "converge (corrupt stream?)"
+                )
+            fuel -= 1
+            code = self._code_at(entry.payload, cache, *index.locate(s, k))
+            if matrix == "M":
+                origin = code & 0b111
+                if origin == ORIGIN_M_SUB:
+                    ops.append("X")
+                    s -= x
+                elif origin == ORIGIN_M_INS:
+                    matrix = "I"
+                elif origin == ORIGIN_M_DEL:
+                    matrix = "D"
+                else:
+                    raise BacktraceStreamError(
+                        f"alignment {entry.alignment_id}: NULL M origin at "
+                        f"(s={s}, k={k})"
+                    )
+            elif matrix == "I":
+                # The extend bit also records the *run structure*: an
+                # opened gap character starts a run (matches may precede
+                # it), an extension continues one (no matches inside).
+                k -= 1
+                if code & ORIGIN_I_EXT_BIT:
+                    ops.append("Ie")
+                    s -= e
+                else:
+                    ops.append("Io")
+                    s -= oe
+                    matrix = "M"
+            else:  # D
+                k += 1
+                if code & ORIGIN_D_EXT_BIT:
+                    ops.append("De")
+                    s -= e
+                else:
+                    ops.append("Do")
+                    s -= oe
+                    matrix = "M"
+
+        if s != 0 or k != 0 or matrix != "M":
+            raise BacktraceStreamError(
+                f"alignment {entry.alignment_id}: walk ended at "
+                f"(s={s}, k={k}, {matrix}), expected (0, 0, M)"
+            )
+        work.walk_ops += len(ops)
+        return ops
+
+    @staticmethod
+    def _insert_matches(
+        ops: list[str], a: str, b: str, work: CpuBacktraceWork
+    ) -> Cigar:
+        """Greedy match insertion between the recovered differences.
+
+        ``ops`` tokens are ``"X"`` or gap ops annotated with their run
+        structure (``"Io"``/``"Do"`` open a run, ``"Ie"``/``"De"`` extend
+        one).  Matches are inserted only *before* substitutions and run
+        openings: those positions are M-states of the WFA path, where
+        extension was maximal, so the greedy run is exactly the path's
+        run.  Inside a gap run no matches may be inserted, even when the
+        sequences happen to agree there — otherwise a coincidental match
+        would split the run and raise the gap-open count.
+        """
+        out: list[str] = []
+        i = j = 0
+        n, m = len(a), len(b)
+
+        def take_matches() -> None:
+            nonlocal i, j
+            while i < n and j < m and a[i] == b[j]:
+                out.append("M")
+                i += 1
+                j += 1
+
+        for op in ops:
+            if op == "X" or op in ("Io", "Do"):
+                take_matches()
+            if op == "X":
+                if i >= n or j >= m or a[i] == b[j]:
+                    raise BacktraceStreamError(
+                        f"substitution op lands on a match at ({i}, {j})"
+                    )
+                out.append("X")
+                i += 1
+                j += 1
+            elif op in ("Io", "Ie"):
+                if j >= m:
+                    raise BacktraceStreamError("insertion op past the text end")
+                out.append("I")
+                j += 1
+            else:
+                if i >= n:
+                    raise BacktraceStreamError("deletion op past the pattern end")
+                out.append("D")
+                i += 1
+        take_matches()
+        if i != n or j != m:
+            raise BacktraceStreamError(
+                f"reconstruction consumed ({i}, {j}) of ({n}, {m}) characters"
+            )
+        work.match_chars += sum(1 for c in out if c == "M")
+        return Cigar("".join(out))

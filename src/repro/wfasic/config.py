@@ -1,0 +1,148 @@
+"""WFAsic accelerator configuration (§4 / §5 of the paper).
+
+The shipped chip configuration (§5, bullet list) is one Aligner with 64
+parallel sections, 10 kbp maximum read length, and support for error
+scores up to 8000 — i.e. up to 1 K differences in the all-gap-openings
+worst case (Eq. 5).  :func:`WfasicConfig.paper_default` reproduces it;
+the FPGA-prototype experiments (Figs. 10/11) use other aligner/PS counts
+through the same dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
+
+__all__ = ["WfasicConfig", "AXI_DATA_BYTES", "BASES_PER_RAM_WORD"]
+
+#: Data width of the AXI-Full bus and of both FIFOs (§4.1): 16 bytes.
+AXI_DATA_BYTES = 16
+
+#: Bases per Input_Seq RAM word: 16 bases x 2 bits = 4 bytes (§4.2).
+BASES_PER_RAM_WORD = 16
+
+
+@dataclass(frozen=True)
+class WfasicConfig:
+    """Static configuration of one WFAsic instance.
+
+    Attributes
+    ----------
+    num_aligners:
+        Aligner modules operating on independent pairs in parallel (§4.1).
+    parallel_sections:
+        Extend/Compute sub-module pairs per Aligner; one wavefront cell is
+        processed per section per step (§4.3).
+    max_read_len:
+        Maximum supported read length in bases; must be divisible by 16
+        (§4.2).  Runtime input sets choose a per-batch ``MAX_READ_LEN`` no
+        larger than this.
+    k_max:
+        Wavefront vector half-length (§4.3.1).  Bounds the supported
+        alignment score via Eq. 6.
+    backtrace:
+        Whether backtrace data generation is enabled (§4.1).
+    penalties:
+        Gap-affine penalties baked into the Compute sub-modules.
+    """
+
+    num_aligners: int = 1
+    parallel_sections: int = 64
+    max_read_len: int = 10_000
+    k_max: int = 3_998
+    backtrace: bool = True
+    penalties: AffinePenalties = field(default_factory=lambda: DEFAULT_PENALTIES)
+
+    def __post_init__(self) -> None:
+        if self.num_aligners < 1:
+            raise ValueError("num_aligners must be >= 1")
+        if self.parallel_sections < 1:
+            raise ValueError("parallel_sections must be >= 1")
+        if self.max_read_len < 1:
+            raise ValueError("max_read_len must be >= 1")
+        if self.max_read_len % BASES_PER_RAM_WORD:
+            # §4.2 requires divisibility by the AXI width in bases; the
+            # hardware rounds 10 000 down to RAM words, so we only insist
+            # on base-per-word alignment.
+            raise ValueError(
+                f"max_read_len must be divisible by {BASES_PER_RAM_WORD}"
+            )
+        if self.k_max < 1:
+            raise ValueError("k_max must be >= 1")
+        if self.backtrace and (self.parallel_sections * 5) % 80:
+            # Origin blocks are parallel_sections x 5 bits and must frame
+            # into whole 10-byte transaction payloads (§4.3.3/§4.4): the
+            # shipped 64 PS gives the paper's 320-bit (40-byte) blocks.
+            raise ValueError(
+                "with backtrace enabled, parallel_sections must be a "
+                "multiple of 16 so origin blocks frame into 10-byte payloads"
+            )
+
+    # -- paper constants ---------------------------------------------------
+
+    @classmethod
+    def paper_default(cls, *, backtrace: bool = True) -> "WfasicConfig":
+        """The shipped chip: 1 Aligner x 64 PS, 10 kbp, score <= 8000.
+
+        ``max_read_len`` is 10 000 rounded up to a whole number of RAM
+        words (10 000 is already divisible by 16... it is not: 10 000 =
+        625 x 16, so it is).  ``k_max`` = 3998 makes Eq. 6 yield exactly
+        the paper's 8000 score bound.
+        """
+        return cls(
+            num_aligners=1,
+            parallel_sections=64,
+            max_read_len=10_000,
+            k_max=3_998,
+            backtrace=backtrace,
+        )
+
+    def with_backtrace(self, enabled: bool) -> "WfasicConfig":
+        """Copy with the backtrace functionality toggled (§4.1)."""
+        return replace(self, backtrace=enabled)
+
+    # -- derived limits (Eqs. 5/6) ------------------------------------------
+
+    @property
+    def max_score(self) -> int:
+        """Eq. 6: ``Score_max = k_max * 2 + 4``.
+
+        An alignment whose penalty exceeds this terminates with the
+        Success flag cleared.
+        """
+        return self.k_max * 2 + 4
+
+    def supports(self, num_x: int, num_open: int, num_extend: int) -> bool:
+        """Eq. 5: whether an error profile fits the score budget.
+
+        ``num_extend`` counts *all* gap characters (each paying ``e``);
+        ``num_open`` counts gap runs (each additionally paying ``o``).
+        """
+        p = self.penalties
+        cost = (
+            num_x * p.mismatch
+            + num_open * p.gap_open_total
+            + (num_extend - num_open) * p.gap_extend
+        )
+        return cost <= self.max_score
+
+    @property
+    def max_differences_worst_case(self) -> int:
+        """Worst-case supported differences: all gap openings (§4, ~1 K)."""
+        return self.max_score // self.penalties.gap_open_total
+
+    @property
+    def input_seq_ram_words(self) -> int:
+        """Input_Seq RAM depth: ID word + length word + packed bases (§4.2)."""
+        return 2 + self.max_read_len // BASES_PER_RAM_WORD
+
+    @property
+    def wavefront_slots(self) -> int:
+        """Cells per wavefront vector: diagonals ``-k_max..k_max``."""
+        return 2 * self.k_max + 1
+
+    @property
+    def bt_block_bytes(self) -> int:
+        """Bytes per origin block: 5 bits per parallel section (§4.3.3)."""
+        return self.parallel_sections * 5 // 8

@@ -1,0 +1,95 @@
+"""Show-ahead FIFOs and the single-port-macro wrapper (§4.6).
+
+The input and output FIFOs are the largest memories of the design: 16
+bytes wide, 256 words deep.  On the FPGA they are *show-ahead* FIFOs (the
+oldest unread word is always visible at the output port; asserting the
+read request clears it), and in the ASIC they are re-implemented on
+high-performance register-file macros behind a wrapper that reproduces
+the show-ahead protocol, "so the interactions of the modules with the
+input/output memories remain the same as in the FPGA prototype".
+
+This model implements the show-ahead protocol directly (the wrapper's
+observable behaviour); occupancy accounting lets the accelerator model
+detect stalls when producers outrun consumers.
+"""
+
+from __future__ import annotations
+
+from .config import AXI_DATA_BYTES
+
+__all__ = ["ShowAheadFifo", "FifoError"]
+
+
+class FifoError(RuntimeError):
+    """Protocol violation: overflow, underflow, or a bad word size."""
+
+
+class ShowAheadFifo:
+    """16-byte-wide show-ahead FIFO with bounded depth.
+
+    * :meth:`peek` returns the oldest word without consuming it — the
+      show-ahead output port.
+    * :meth:`pop` consumes it — the read-request signal.
+    * :meth:`push` appends a word — the write port.
+
+    High-water statistics (``peak_occupancy``, ``total_pushed``) feed the
+    accelerator's bandwidth model.
+    """
+
+    def __init__(self, depth: int = 256, width: int = AXI_DATA_BYTES) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.depth = depth
+        self.width = width
+        self._words: list[bytes] = []
+        self._head = 0
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._words) - self._head
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.depth
+
+    def push(self, word: bytes) -> None:
+        """Write one word; raises :class:`FifoError` when full."""
+        if len(word) != self.width:
+            raise FifoError(f"word must be {self.width} bytes, got {len(word)}")
+        if self.full:
+            raise FifoError("FIFO overflow")
+        self._words.append(bytes(word))
+        self.total_pushed += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self))
+
+    def peek(self) -> bytes:
+        """The show-ahead output: oldest word, not consumed."""
+        if self.empty:
+            raise FifoError("FIFO underflow (peek on empty)")
+        return self._words[self._head]
+
+    def pop(self) -> bytes:
+        """Consume and return the oldest word (read request)."""
+        word = self.peek()
+        self._head += 1
+        # Compact lazily so pop stays O(1) amortised.
+        if self._head > 1024 and self._head * 2 > len(self._words):
+            del self._words[: self._head]
+            self._head = 0
+        return word
+
+    def drain(self) -> list[bytes]:
+        """Pop everything (used by DMA models moving whole bursts)."""
+        out = [self._words[i] for i in range(self._head, len(self._words))]
+        self._words = []
+        self._head = 0
+        return out

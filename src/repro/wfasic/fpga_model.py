@@ -1,0 +1,152 @@
+"""FPGA prototype model (§4.6 / §5.3).
+
+Before the ASIC flow, the design is validated on an Alveo U280
+("The FPGA device runs on 50MHz and has 2607K FFs, 1304K LUTs, 9024
+DSPs, 2016 BRAMs and 960 URAMs"), where "the available resources ... are
+larger than in the final chip, so we can fit multiple Aligners and
+evaluate the scalability" (Fig. 10 runs up to 10 Aligners of 64 parallel
+sections).
+
+This module estimates the prototype's resource usage for arbitrary
+configurations and answers the fit question.  Per-module logic costs are
+engineering estimates (documented constants) for the datapaths the paper
+describes — a 32-bit comparator + dual shifters per Extend sub-module, a
+max-tree ALU per Compute sub-module — while memory mapping is structural:
+every RAM macro of the ASIC inventory maps onto BRAM18 primitives by
+capacity (the FIFOs, 4 KB each, take a whole BRAM36).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .asic_model import macro_inventory
+from .config import WfasicConfig
+
+__all__ = ["U280", "FpgaDevice", "FpgaReport", "fpga_report", "max_aligners_on"]
+
+#: FPGA prototype clock (§5.3).
+FPGA_FREQUENCY_HZ = 50e6
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource totals of one FPGA device."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram36: int
+    uram: int
+
+
+#: §5.3's Alveo U280 figures.
+U280 = FpgaDevice(
+    name="Alveo U280",
+    luts=1_304_000,
+    ffs=2_607_000,
+    dsps=9_024,
+    bram36=2_016,
+    uram=960,
+)
+
+# -- logic-cost estimates (per instance) --------------------------------------
+#: Extend sub-module: 32-bit comparator, two 64-bit alignment shifters,
+#: address generators (§4.3.2).
+_EXTEND_LUTS = 520
+_EXTEND_FFS = 640
+#: Compute sub-module: Eq. 3 max tree, origin encoder (§4.3.3).
+_COMPUTE_LUTS = 380
+_COMPUTE_FFS = 410
+#: Per-Aligner control (frame-column rotation, group sequencing).
+_ALIGNER_CTRL_LUTS = 6_000
+_ALIGNER_CTRL_FFS = 7_500
+#: Shared blocks: DMA + Extractor + Collectors + AXI plumbing.
+_SHARED_LUTS = 14_000
+_SHARED_FFS = 18_000
+
+#: BRAM18 capacity in bytes (2 KB data).
+_BRAM18_BYTES = 2_304
+
+
+@dataclass(frozen=True)
+class FpgaReport:
+    """Estimated prototype utilisation for one configuration."""
+
+    luts: int
+    ffs: int
+    bram36: float
+    frequency_hz: float
+    device: FpgaDevice
+
+    @property
+    def fits(self) -> bool:
+        return (
+            self.luts <= self.device.luts
+            and self.ffs <= self.device.ffs
+            and self.bram36 <= self.device.bram36
+        )
+
+    @property
+    def lut_utilisation(self) -> float:
+        return self.luts / self.device.luts
+
+    @property
+    def bram_utilisation(self) -> float:
+        return self.bram36 / self.device.bram36
+
+
+def fpga_report(config: WfasicConfig, device: FpgaDevice = U280) -> FpgaReport:
+    """Estimate the prototype's resources for ``config`` on ``device``."""
+    a = config.num_aligners
+    n_ps = config.parallel_sections
+    luts = (
+        _SHARED_LUTS
+        + a * _ALIGNER_CTRL_LUTS
+        + a * n_ps * (_EXTEND_LUTS + _COMPUTE_LUTS)
+    )
+    ffs = (
+        _SHARED_FFS
+        + a * _ALIGNER_CTRL_FFS
+        + a * n_ps * (_EXTEND_FFS + _COMPUTE_FFS)
+    )
+    inv = macro_inventory(config)
+    # Each RAM macro needs its own primitive (independent ports); BRAM18s
+    # hold up to 2 KB, pairs of BRAM18 make a BRAM36.  FIFOs are 4 KB and
+    # take one BRAM36 each.
+    def brams_for(count: int, bytes_each: int) -> float:
+        per_macro_bram18 = max(1, -(-bytes_each // _BRAM18_BYTES))
+        return count * per_macro_bram18 / 2
+
+    bram36 = (
+        brams_for(inv.input_seq_macros, inv.input_seq_bytes_each)
+        + brams_for(inv.m_wavefront_macros, inv.m_wavefront_bytes_each)
+        + brams_for(inv.id_wavefront_macros, inv.id_wavefront_bytes_each)
+        + inv.fifo_macros  # one BRAM36 each
+    )
+    return FpgaReport(
+        luts=luts,
+        ffs=ffs,
+        bram36=bram36,
+        frequency_hz=FPGA_FREQUENCY_HZ,
+        device=device,
+    )
+
+
+def max_aligners_on(
+    device: FpgaDevice, parallel_sections: int = 64, limit: int = 64
+) -> int:
+    """Largest Aligner count of the given width that fits the device."""
+    best = 0
+    for count in range(1, limit + 1):
+        cfg = WfasicConfig(
+            num_aligners=count,
+            parallel_sections=parallel_sections,
+            backtrace=False,
+        )
+        if fpga_report(cfg, device).fits:
+            best = count
+        else:
+            break
+    return best

@@ -1,0 +1,154 @@
+"""Fluid event-driven pipeline timing — output-bandwidth contention.
+
+The analytic batch schedule (`accelerator.schedule_makespan`) serialises
+reads and parallelises alignments, but treats the output path as a batch-
+level afterthought.  §4.1 warns that "transferring huge amount of
+backtrace data ... may limit the performance of WFAsic": with backtrace
+on, every compute group emits a 40-byte block (4 output transactions),
+and several Aligners share one 16-byte output port.
+
+This module refines the timing with a *fluid* model: each active
+alignment demands output bandwidth proportional to its block-emission
+rate (``output_txns / align_cycles``); whenever the summed demand exceeds
+the port rate (``burst_beats / cycles_per_burst`` transactions per
+cycle), all active Aligners throttle by the common factor — the §4.6
+show-ahead FIFOs make the coupling smooth, so a proportional fluid
+approximation is appropriate.  With backtrace off (zero output demand)
+the model reduces exactly to the analytic schedule, which the tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dma import DmaTimings
+
+__all__ = ["PipelineJob", "PipelineResult", "FluidPipelineSim"]
+
+
+@dataclass(frozen=True)
+class PipelineJob:
+    """One pair's resource profile."""
+
+    read_cycles: int
+    align_cycles: int
+    output_txns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_cycles < 0 or self.align_cycles < 0 or self.output_txns < 0:
+            raise ValueError("job costs must be >= 0")
+
+
+@dataclass
+class PipelineResult:
+    """Timing outcome of one fluid simulation."""
+
+    makespan: float
+    completion_times: list[float]
+    #: Extra cycles lost to output-port throttling vs the unthrottled run.
+    throttle_cycles: float
+
+    @property
+    def output_limited(self) -> bool:
+        return self.throttle_cycles > 0.5
+
+
+class FluidPipelineSim:
+    """Fluid-flow timing of the DMA/Extractor/Aligner/Collector pipeline."""
+
+    def __init__(
+        self,
+        num_aligners: int,
+        *,
+        dma: DmaTimings | None = None,
+    ) -> None:
+        if num_aligners < 1:
+            raise ValueError("num_aligners must be >= 1")
+        self.num_aligners = num_aligners
+        dma = dma or DmaTimings()
+        #: Sustained output-port rate in transactions (16-byte beats) per
+        #: cycle: one burst of ``burst_beats`` every ``cycles_per_burst``.
+        self.output_rate = dma.burst_beats / dma.cycles_per_burst
+
+    def run(self, jobs: list[PipelineJob]) -> PipelineResult:
+        if not jobs:
+            return PipelineResult(0.0, [], 0.0)
+
+        pending = list(enumerate(jobs))
+        completion = [0.0] * len(jobs)
+
+        # Aligner states: None (idle) or [job_index, remaining_cycles, demand].
+        active: list[list] = []
+        idle_aligners = self.num_aligners
+        reader_busy_until: float | None = None
+        reader_job: tuple[int, PipelineJob] | None = None
+
+        t = 0.0
+        unthrottled_total = 0.0
+
+        def slowdown() -> float:
+            demand = sum(entry[2] for entry in active)
+            return max(1.0, demand / self.output_rate)
+
+        while pending or active or reader_job is not None:
+            # Dispatch the reader when possible.
+            if reader_job is None and pending and idle_aligners > 0:
+                idx, job = pending.pop(0)
+                reader_job = (idx, job)
+                idle_aligners -= 1  # reserved for this job
+                reader_busy_until = t + job.read_cycles
+
+            # Next event: reader completion or an alignment completion.
+            s = slowdown()
+            candidates: list[float] = []
+            if reader_job is not None:
+                candidates.append(reader_busy_until)
+            for entry in active:
+                candidates.append(t + entry[1] * s)
+            if not candidates:
+                break
+            t_next = min(candidates)
+
+            # Advance all active alignments by the elapsed fluid progress.
+            dt = t_next - t
+            if dt > 0:
+                progress = dt / s
+                for entry in active:
+                    entry[1] -= progress
+            t = t_next
+
+            # Retire finished alignments.
+            for entry in [e for e in active if e[1] <= 1e-9]:
+                active.remove(entry)
+                completion[entry[0]] = t
+                idle_aligners += 1
+
+            # Reader hand-off: the job starts aligning.
+            if reader_job is not None and t >= reader_busy_until - 1e-9:
+                idx, job = reader_job
+                demand = (
+                    job.output_txns / job.align_cycles if job.align_cycles else 0.0
+                )
+                if job.align_cycles:
+                    active.append([idx, float(job.align_cycles), demand])
+                else:
+                    completion[idx] = t
+                    idle_aligners += 1
+                unthrottled_total += job.align_cycles
+                reader_job = None
+
+        makespan = max(max(completion), t)
+        # Unthrottled reference: the analytic schedule.
+        from .accelerator import schedule_makespan
+
+        reference = schedule_makespan(
+            jobs[0].read_cycles if jobs else 0,
+            [j.align_cycles for j in jobs],
+            self.num_aligners,
+        )
+        return PipelineResult(
+            makespan=makespan,
+            completion_times=completion,
+            throttle_cycles=max(0.0, makespan - reference),
+        )

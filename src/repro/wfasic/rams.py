@@ -1,0 +1,243 @@
+"""On-chip RAM models: Input_Seq RAMs and the banked wavefront windows.
+
+This module captures the *memory organisation* of §4.3.1 / Fig. 6 — how
+wavefront cells map onto per-parallel-section RAM banks so that one group
+of cells can be computed per cycle without bank conflicts — and the
+Input_Seq RAM layout of §4.2.  The aligner's functional engine does not
+route every access through these objects (that would only slow the
+simulation down without changing results); instead the layout invariants
+are verified once and for all by the unit tests in
+``tests/wfasic/test_rams.py``, and the ASIC area model derives its macro
+inventory from the same geometry.
+
+Mapping (Fig. 6):
+
+* wavefront matrix rows are diagonals, ``row = k_max - k`` (k decreases
+  downward in the figure),
+* ``bank(row) = row mod n_ps`` — cells of one aligned group land in
+  distinct banks, so the group can be written in parallel,
+* ``address(row, col) = col * rows_per_bank + row // n_ps`` — each column
+  of the window occupies a contiguous address range in every bank,
+* the M window duplicates its first and last banks (RAM 1'/RAM 4'):
+  computing a group needs rows ``r0-1 .. r0+n_ps`` of the ``s-o-e``
+  column simultaneously (the ``k-1`` inputs of I and the ``k+1`` inputs
+  of D), which touches banks ``n_ps-1`` and ``0`` twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.wfa import NULL_OFFSET
+from .config import BASES_PER_RAM_WORD, WfasicConfig
+
+__all__ = [
+    "BankConflictError",
+    "PortConflictError",
+    "WavefrontWindowRam",
+    "InputSeqRam",
+    "WavefrontGeometry",
+    "wavefront_geometry",
+]
+
+
+class BankConflictError(RuntimeError):
+    """Two parallel accesses hit the same bank in the same cycle."""
+
+
+class PortConflictError(RuntimeError):
+    """A single-port macro saw a read and a write in the same cycle (§4.6)."""
+
+
+@dataclass(frozen=True)
+class WavefrontGeometry:
+    """Derived RAM geometry for one accelerator configuration."""
+
+    #: Live columns of the M window (frame + history; 5 for (4, 6, 2)).
+    m_columns: int
+    #: Live columns each for I and D (frame + history; 2 for (4, 6, 2)).
+    id_columns: int
+    #: Rows of the wavefront matrix = wavefront slots (2 k_max + 1).
+    rows: int
+    #: Words per bank per column.
+    rows_per_bank: int
+    #: M banks including the duplicated edge banks.
+    m_banks: int
+    #: Merged I/D banks (§4.6 merges I and D into one macro set).
+    id_banks: int
+
+    @property
+    def m_words_per_bank(self) -> int:
+        return self.m_columns * self.rows_per_bank
+
+    @property
+    def id_words_per_bank(self) -> int:
+        # I and D share a macro: both column sets in one address space.
+        return 2 * self.id_columns * self.rows_per_bank
+
+
+def wavefront_geometry(config: WfasicConfig) -> WavefrontGeometry:
+    """Geometry of the wavefront windows for ``config``.
+
+    The number of live columns follows the recurrence depths (§4.3.1:
+    "only 4, 1 and 1 previous wavefront vectors of M, I and D are
+    respectively required", plus the frame column itself):
+
+    * M history depth = ``max(x, o+e) / granularity`` columns,
+    * I/D history depth = ``e / granularity`` (their only self-reference).
+    """
+    p = config.penalties
+    g = p.score_granularity
+    m_hist = max(p.mismatch, p.gap_open_total) // g
+    id_hist = max(p.gap_extend // g, 1)
+    rows = config.wavefront_slots
+    n_ps = config.parallel_sections
+    return WavefrontGeometry(
+        m_columns=m_hist + 1,
+        id_columns=id_hist + 1,
+        rows=rows,
+        rows_per_bank=-(-rows // n_ps),
+        m_banks=n_ps + 2,
+        id_banks=n_ps,
+    )
+
+
+class WavefrontWindowRam:
+    """One banked wavefront window (M, or the merged I/D pair).
+
+    Cells are addressed by ``(column, row)``; the class tracks, per
+    simulated access cycle, which banks were touched and raises on
+    conflicts, so tests can prove the Fig. 6 distribution supports the
+    parallel access patterns the Compute sub-modules need.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_ps: int,
+        rows: int,
+        columns: int,
+        duplicate_edges: bool,
+    ) -> None:
+        if n_ps < 1 or rows < 1 or columns < 1:
+            raise ValueError("n_ps, rows and columns must be >= 1")
+        self.n_ps = n_ps
+        self.rows = rows
+        self.columns = columns
+        self.duplicate_edges = duplicate_edges
+        self._data = np.full((columns, rows), NULL_OFFSET, dtype=np.int64)
+
+    # -- static mapping -----------------------------------------------------
+
+    def bank_of(self, row: int) -> int:
+        """Primary bank holding ``(row, *)`` (duplicates mirror 0/n_ps-1)."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+        return row % self.n_ps
+
+    def address_of(self, row: int, col: int) -> int:
+        """Word address of ``(row, col)`` within its bank."""
+        if not 0 <= col < self.columns:
+            raise IndexError(f"column {col} out of range 0..{self.columns - 1}")
+        rows_per_bank = -(-self.rows // self.n_ps)
+        return col * rows_per_bank + row // self.n_ps
+
+    # -- parallel access checking -------------------------------------------
+
+    def _check_parallel(self, rows: list[int]) -> None:
+        """Verify the rows can be served in one cycle.
+
+        Each bank has one read port; the duplicated edge banks add one
+        extra read of bank 0 and one of bank ``n_ps - 1``.
+        """
+        counts: dict[int, int] = {}
+        for row in rows:
+            counts[self.bank_of(row)] = counts.get(self.bank_of(row), 0) + 1
+        budget = {bank: 1 for bank in range(self.n_ps)}
+        if self.duplicate_edges:
+            budget[0] += 1
+            budget[self.n_ps - 1] += 1
+        for bank, used in counts.items():
+            if used > budget.get(bank, 1):
+                raise BankConflictError(
+                    f"bank {bank} accessed {used} times in one cycle "
+                    f"(budget {budget.get(bank, 1)})"
+                )
+
+    def read_rows(self, col: int, rows: list[int]) -> np.ndarray:
+        """One parallel read cycle of the given rows from one column."""
+        self._check_parallel(rows)
+        for row in rows:
+            self.bank_of(row)  # bounds check
+        return self._data[col, rows].copy()
+
+    def write_group(self, col: int, row0: int, values: np.ndarray) -> None:
+        """One parallel write cycle of an aligned group into one column.
+
+        Groups must be aligned to the parallel-section count — that is
+        what makes the writes conflict-free by construction.
+        """
+        if row0 % self.n_ps:
+            raise BankConflictError(
+                f"group base row {row0} is not aligned to n_ps={self.n_ps}"
+            )
+        rows = list(range(row0, min(row0 + len(values), self.rows)))
+        self._check_parallel(rows)
+        self._data[col, rows[0] : rows[0] + len(rows)] = values[: len(rows)]
+
+    def clear_column(self, col: int) -> None:
+        """Re-initialise a column to the invalid (negative) pattern."""
+        self._data[col, :] = NULL_OFFSET
+
+    def column(self, col: int) -> np.ndarray:
+        """Whole-column view (test/debug convenience, not a 1-cycle op)."""
+        return self._data[col]
+
+
+class InputSeqRam:
+    """One Input_Seq RAM: 4-byte words, ID/length header + packed bases.
+
+    §4.2 layout: "Alignment ID is stored in address 0, length in address
+    1, and sequence bases from address 2 onward", 16 bases packed per
+    word.  Each parallel section owns a private replica per sequence, so
+    all Extend sub-modules can fetch blocks concurrently.
+    """
+
+    HEADER_WORDS = 2
+
+    def __init__(self, max_read_len: int) -> None:
+        if max_read_len % BASES_PER_RAM_WORD:
+            raise ValueError("max_read_len must be a multiple of 16")
+        self.max_read_len = max_read_len
+        self.depth = self.HEADER_WORDS + max_read_len // BASES_PER_RAM_WORD
+        self._words = np.zeros(self.depth, dtype=np.uint32)
+
+    def load(self, alignment_id: int, length: int, packed: np.ndarray) -> None:
+        """Write a full sequence image (what the Extractor streams in)."""
+        if len(packed) > self.depth - self.HEADER_WORDS:
+            raise ValueError(
+                f"{len(packed)} base words exceed RAM depth {self.depth}"
+            )
+        self._words[0] = alignment_id & 0xFFFFFFFF
+        self._words[1] = length
+        self._words[2 : 2 + len(packed)] = packed
+        self._words[2 + len(packed) :] = 0
+
+    def read_word(self, addr: int) -> int:
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"address {addr} out of range 0..{self.depth - 1}")
+        return int(self._words[addr])
+
+    @property
+    def alignment_id(self) -> int:
+        return int(self._words[0])
+
+    @property
+    def length(self) -> int:
+        return int(self._words[1])
+
+    def base_words(self) -> np.ndarray:
+        """The packed base words (address 2 onward)."""
+        return self._words[self.HEADER_WORDS :]

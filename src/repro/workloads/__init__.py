@@ -1,0 +1,36 @@
+"""Workload generation: synthetic read pairs and the paper's input sets."""
+
+from .datasets import (
+    PAPER_INPUT_SETS,
+    InputSetSpec,
+    input_set_names,
+    make_input_set,
+)
+from .generator import ErrorMix, PairGenerator, SequencePair
+from .genome import ReadSampler, SampledRead, synthetic_genome, tiling_reads
+from .profile import ErrorProfile, estimate_profile, preflight, profile_cigar
+from .seqio import iter_seq_lines, read_seq_file, write_seq_file
+from .stats import InputSetStats, summarise_pairs
+
+__all__ = [
+    "ErrorMix",
+    "ErrorProfile",
+    "InputSetSpec",
+    "InputSetStats",
+    "PAPER_INPUT_SETS",
+    "PairGenerator",
+    "ReadSampler",
+    "SampledRead",
+    "SequencePair",
+    "estimate_profile",
+    "input_set_names",
+    "iter_seq_lines",
+    "make_input_set",
+    "preflight",
+    "profile_cigar",
+    "read_seq_file",
+    "summarise_pairs",
+    "synthetic_genome",
+    "tiling_reads",
+    "write_seq_file",
+]

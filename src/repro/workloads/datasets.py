@@ -1,0 +1,76 @@
+"""The paper's six evaluation input sets (Table 1 / Figures 9-11).
+
+Section 5.3: "we evaluate its performance for short (100bp), medium (1Kbp)
+and long (10Kbp) sequences with error rates of 5% and 10%".  Each input
+set is named ``"<length>-<rate>%"`` exactly as in the paper's tables and
+figure axes: ``100-5%``, ``100-10%``, ``1K-5%``, ``1K-10%``, ``10K-5%``,
+``10K-10%``.
+
+Input sets are deterministic: the seed is derived from the name, so every
+bench/test run sees the same sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generator import PairGenerator, SequencePair
+
+__all__ = ["InputSetSpec", "PAPER_INPUT_SETS", "make_input_set", "input_set_names"]
+
+
+@dataclass(frozen=True)
+class InputSetSpec:
+    """Parameters of one named evaluation input set."""
+
+    name: str
+    length: int
+    error_rate: float
+
+    @property
+    def seed(self) -> int:
+        # Stable, name-derived seed (independent of Python's hash seed).
+        return sum(ord(c) * 31**i for i, c in enumerate(self.name)) % (2**31)
+
+
+#: The six input sets of Table 1, in paper order.
+PAPER_INPUT_SETS: tuple[InputSetSpec, ...] = (
+    InputSetSpec("100-5%", 100, 0.05),
+    InputSetSpec("100-10%", 100, 0.10),
+    InputSetSpec("1K-5%", 1_000, 0.05),
+    InputSetSpec("1K-10%", 1_000, 0.10),
+    InputSetSpec("10K-5%", 10_000, 0.05),
+    InputSetSpec("10K-10%", 10_000, 0.10),
+)
+
+_BY_NAME = {spec.name: spec for spec in PAPER_INPUT_SETS}
+
+
+def input_set_names() -> list[str]:
+    """The six input-set names, in paper order."""
+    return [spec.name for spec in PAPER_INPUT_SETS]
+
+
+def make_input_set(
+    name: str, num_pairs: int, *, seed_offset: int = 0
+) -> list[SequencePair]:
+    """Generate ``num_pairs`` pairs of the named paper input set.
+
+    ``seed_offset`` lets callers draw non-overlapping batches of the same
+    distribution (e.g. tests vs benches).
+    """
+    try:
+        spec = _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown input set {name!r}; expected one of {input_set_names()}"
+        ) from None
+    gen = PairGenerator(
+        length=spec.length,
+        error_rate=spec.error_rate,
+        seed=spec.seed + seed_offset,
+        # Both sequences stay within the nominal read length — the
+        # hardware MAX_READ_LEN for the 10 kbp sets is exactly 10 000.
+        max_text_length=spec.length,
+    )
+    return gen.batch(num_pairs)

@@ -1,0 +1,65 @@
+""".seq file I/O — the text format used by the reference WFA tools [14].
+
+Each alignment job is two consecutive lines::
+
+    >PATTERN
+    <TEXT
+
+(the ``>`` line is the query/pattern, the ``<`` line the text/reference).
+Blank lines are ignored.  This keeps our synthetic input sets and any
+externally produced ones interchangeable with the WFA ecosystem's tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .generator import SequencePair
+
+__all__ = ["read_seq_file", "write_seq_file", "iter_seq_lines"]
+
+
+def iter_seq_lines(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield (pattern, text) tuples from ``.seq``-format lines."""
+    pattern: str | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if pattern is not None:
+                raise ValueError(
+                    f"line {lineno}: pattern line while a pattern is pending"
+                )
+            pattern = line[1:].strip()
+        elif line.startswith("<"):
+            if pattern is None:
+                raise ValueError(f"line {lineno}: text line without a pattern")
+            yield pattern, line[1:].strip()
+            pattern = None
+        else:
+            raise ValueError(
+                f"line {lineno}: expected '>' or '<' prefix, got {line[:10]!r}"
+            )
+    if pattern is not None:
+        raise ValueError("file ended with an unpaired pattern line")
+
+
+def read_seq_file(path: str | Path) -> list[SequencePair]:
+    """Read a ``.seq`` file into :class:`SequencePair` objects."""
+    with open(path, "r", encoding="ascii") as fh:
+        return [
+            SequencePair(pattern=pat, text=txt, pair_id=i)
+            for i, (pat, txt) in enumerate(iter_seq_lines(fh))
+        ]
+
+
+def write_seq_file(path: str | Path, pairs: Iterable[SequencePair]) -> int:
+    """Write pairs to a ``.seq`` file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for pair in pairs:
+            fh.write(f">{pair.pattern}\n<{pair.text}\n")
+            count += 1
+    return count

@@ -1,0 +1,76 @@
+"""Input-set statistics: the §5.3 sanity view of a workload.
+
+Summarises a list of pairs the way a methods section would: length
+distribution, realised error characteristics (from exact alignments),
+and the Eq. 5 error triple — so a batch can be characterised before it
+is shipped to the accelerator, and synthetic sets can be checked against
+their nominal parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from ..align.swg import swg_align
+from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
+from .generator import SequencePair
+from .profile import ErrorProfile, profile_cigar
+
+__all__ = ["InputSetStats", "summarise_pairs"]
+
+
+@dataclass(frozen=True)
+class InputSetStats:
+    """Realised characteristics of a batch of pairs."""
+
+    num_pairs: int
+    mean_pattern_length: float
+    mean_text_length: float
+    mean_score: float
+    #: Realised per-base error-character rate (differences / length).
+    mean_error_rate: float
+    #: Mean Eq. 5 triple across the batch.
+    mean_profile: ErrorProfile
+
+    def describe(self) -> str:
+        p = self.mean_profile
+        return (
+            f"{self.num_pairs} pairs, ~{self.mean_pattern_length:.0f} bp, "
+            f"score {self.mean_score:.0f} "
+            f"({self.mean_error_rate:.1%} errors: "
+            f"{p.num_mismatches:.1f}X / {p.num_gap_opens:.1f} opens / "
+            f"{p.num_gap_characters:.1f} gap chars)"
+        )
+
+
+def summarise_pairs(
+    pairs: list[SequencePair],
+    penalties: AffinePenalties = DEFAULT_PENALTIES,
+) -> InputSetStats:
+    """Exact-alignment summary of a batch (runs SWG per pair: use on
+    test/bench-sized batches, not multi-megabase production sets)."""
+    if not pairs:
+        raise ValueError("cannot summarise an empty batch")
+    scores = []
+    profiles = []
+    error_rates = []
+    for pair in pairs:
+        result = swg_align(pair.pattern, pair.text, penalties)
+        scores.append(result.score)
+        prof = profile_cigar(result.cigar)
+        profiles.append(prof)
+        diffs = result.cigar.num_differences()
+        error_rates.append(diffs / max(len(pair.pattern), 1))
+    return InputSetStats(
+        num_pairs=len(pairs),
+        mean_pattern_length=mean(len(p.pattern) for p in pairs),
+        mean_text_length=mean(len(p.text) for p in pairs),
+        mean_score=mean(scores),
+        mean_error_rate=mean(error_rates),
+        mean_profile=ErrorProfile(
+            num_mismatches=mean(p.num_mismatches for p in profiles),
+            num_gap_opens=mean(p.num_gap_opens for p in profiles),
+            num_gap_characters=mean(p.num_gap_characters for p in profiles),
+        ),
+    )

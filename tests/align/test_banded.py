@@ -1,0 +1,90 @@
+"""Tests for the adaptive banded SWG heuristic (the §6 comparator)."""
+
+import random
+
+import pytest
+
+from repro.align import swg_align
+from repro.align.banded import banded_swg_score
+
+from tests.util import random_pair, random_seq
+
+
+class TestBasicCases:
+    def test_identical(self):
+        res = banded_swg_score("ACGT" * 10, "ACGT" * 10, band_width=8)
+        assert res.reached_end and res.score == 0
+
+    def test_single_mismatch(self):
+        res = banded_swg_score("ACGT", "AGGT", band_width=8)
+        assert res.score == 4
+
+    def test_empty_sequences(self):
+        assert banded_swg_score("", "", 8).score == 0
+        assert banded_swg_score("ACG", "", 8).score == 6 + 3 * 2  # o + 3e
+        assert banded_swg_score("", "ACG", 8).reached_end
+
+    def test_band_width_validated(self):
+        with pytest.raises(ValueError):
+            banded_swg_score("A", "A", 0)
+
+
+class TestHeuristicProperties:
+    def test_upper_bound_of_optimum(self):
+        """A banded score, when it exists, can never beat the optimum."""
+        rng = random.Random(71)
+        for _ in range(40):
+            a, b = random_pair(rng, rng.randint(1, 100), 0.2)
+            res = banded_swg_score(a, b, band_width=24)
+            if res.reached_end:
+                assert res.score >= swg_align(a, b).score
+
+    def test_exact_when_band_covers_matrix(self):
+        rng = random.Random(72)
+        for _ in range(25):
+            a, b = random_pair(rng, rng.randint(1, 60), 0.25)
+            res = banded_swg_score(a, b, band_width=200)
+            assert res.reached_end
+            assert res.score == swg_align(a, b).score
+
+    def test_mostly_exact_on_small_drift(self):
+        """Small-indel inputs stay inside a modest band."""
+        rng = random.Random(73)
+        exact = 0
+        for _ in range(30):
+            a, b = random_pair(rng, 80, 0.1)
+            res = banded_swg_score(a, b, band_width=32)
+            if res.reached_end and res.score == swg_align(a, b).score:
+                exact += 1
+        assert exact >= 27
+
+    def test_large_indel_defeats_narrow_band(self):
+        """The §6 accuracy risk: a 40-base insertion drifts out of a
+        16-wide band, so the heuristic misses the optimum entirely."""
+        a = "A" * 50 + "C" * 50
+        b = "A" * 50 + "G" * 40 + "C" * 50
+        exact_score = swg_align(a, b).score
+        res = banded_swg_score(a, b, band_width=16)
+        assert (not res.reached_end) or res.score > exact_score
+        # WFA (exact) has no such failure mode.
+        from repro.align import wfa_align
+
+        assert wfa_align(a, b).score == exact_score
+
+    def test_work_scales_with_band_not_matrix(self):
+        rng = random.Random(74)
+        a, b = random_pair(rng, 400, 0.05)
+        narrow = banded_swg_score(a, b, band_width=16)
+        wide = banded_swg_score(a, b, band_width=128)
+        assert narrow.cells_computed < wide.cells_computed
+        # Banded work ~ n * band, far below the n*m full matrix.
+        assert wide.cells_computed < len(a) * len(b) / 2
+
+    def test_unrelated_pairs_still_bounded(self):
+        rng = random.Random(75)
+        for _ in range(10):
+            a = random_seq(rng, 50)
+            b = random_seq(rng, 50)
+            res = banded_swg_score(a, b, band_width=64)
+            if res.reached_end:
+                assert res.score >= swg_align(a, b).score

@@ -1,0 +1,128 @@
+"""Unit tests for CIGAR handling."""
+
+import pytest
+
+from repro.align import AffinePenalties, Cigar, CigarError, LinearPenalties
+
+
+class TestConstruction:
+    def test_valid_ops(self):
+        c = Cigar("MMXID")
+        assert len(c) == 5
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(CigarError):
+            Cigar("MMS")
+
+    def test_from_compact_roundtrip(self):
+        c = Cigar.from_compact("2M1X3M2I1D")
+        assert c.ops == "MMXMMMIID"
+        assert c.compact() == "2M1X3M2I1D"
+
+    def test_from_compact_implicit_count(self):
+        assert Cigar.from_compact("MXM").ops == "MXM"
+
+    def test_from_compact_bad_char(self):
+        with pytest.raises(CigarError):
+            Cigar.from_compact("3Q")
+
+    def test_from_compact_trailing_count(self):
+        with pytest.raises(CigarError):
+            Cigar.from_compact("3M2")
+
+    def test_empty(self):
+        c = Cigar("")
+        assert len(c) == 0
+        assert c.compact() == ""
+        assert c.num_differences() == 0
+
+
+class TestAccounting:
+    def test_counts(self):
+        c = Cigar("MMXIDDM")
+        assert c.counts() == {"M": 3, "X": 1, "I": 1, "D": 2}
+
+    def test_lengths(self):
+        c = Cigar("MMXIDDM")
+        # pattern consumes M, X, D; text consumes M, X, I.
+        assert c.pattern_length == 6
+        assert c.text_length == 5
+
+    def test_num_gap_opens_counts_runs(self):
+        assert Cigar("MIIMDD").num_gap_opens() == 2
+        assert Cigar("IIII").num_gap_opens() == 1
+        assert Cigar("IDID").num_gap_opens() == 4
+        assert Cigar("MMMM").num_gap_opens() == 0
+
+
+class TestScore:
+    def test_affine_score_matches_eq5(self):
+        # Eq. 5: num_x * 4 + num_open * (6 + 2) + extra extends * 2.
+        p = AffinePenalties(4, 6, 2)
+        c = Cigar("MXMIIM")  # 1 mismatch, 1 gap of length 2
+        assert c.score(p) == 4 + 6 + 2 * 2
+
+    def test_linear_score(self):
+        p = LinearPenalties(4, 2)
+        c = Cigar("MXMIIM")
+        assert c.score(p) == 4 + 2 * 2
+
+    def test_all_match_scores_zero(self):
+        assert Cigar("M" * 50).score(AffinePenalties(4, 6, 2)) == 0
+
+    def test_paper_figure1_example(self):
+        # Fig. 1(a): GATACA vs GAGATA -> score with (4, 6, 2).
+        # One optimal alignment: insert "GA", match "GATA", delete "CA":
+        # IIMMMMDD = 2 gaps of length 2 = 2*(6+4) = 20... the figure's
+        # alignment has score 16 via 2 mismatches + ... we simply check
+        # that a hand-built CIGAR scores by Eq. 5.
+        c = Cigar.from_compact("2I4M2D")
+        assert c.score(AffinePenalties(4, 6, 2)) == 2 * (6 + 2 * 2)
+
+
+class TestValidate:
+    def test_good_alignment(self):
+        Cigar("MMXM").validate("ACGT", "ACTT")
+
+    def test_match_mismatch_swapped(self):
+        with pytest.raises(CigarError):
+            Cigar("MMMM").validate("ACGT", "ACTT")
+        with pytest.raises(CigarError):
+            Cigar("XMMM").validate("ACGT", "ACGT")
+
+    def test_length_mismatch(self):
+        with pytest.raises(CigarError):
+            Cigar("MMM").validate("ACGT", "ACG")
+        with pytest.raises(CigarError):
+            Cigar("MMMM").validate("ACG", "ACGT")
+
+    def test_gap_ops(self):
+        Cigar("MMIM").validate("ACT", "ACGT")
+        Cigar("MMDM").validate("ACGT", "ACT")
+
+    def test_overrun(self):
+        with pytest.raises(CigarError):
+            Cigar("MMMMM").validate("ACGT", "ACGT")
+
+    def test_empty_ok(self):
+        Cigar("").validate("", "")
+
+
+class TestRender:
+    def test_render_shape(self):
+        out = Cigar("MMXIDM").render("ACGTA", "ACTGA")
+        lines = out.split("\n")
+        assert len(lines) == 3
+        assert len(lines[0]) == len(lines[1]) == len(lines[2]) == 6
+
+    def test_render_markers(self):
+        out = Cigar("MX").render("AC", "AT")
+        top, mid, bot = out.split("\n")
+        assert mid == "|*"
+        assert top == "AC"
+        assert bot == "AT"
+
+    def test_render_gaps(self):
+        out = Cigar("MID").render("AC", "AG")
+        top, _, bot = out.split("\n")
+        assert "-" in top and "-" in bot

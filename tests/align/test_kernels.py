@@ -1,0 +1,242 @@
+"""Unit tests for the vectorised compute/extend kernels."""
+
+import numpy as np
+import pytest
+
+from repro.align import NULL_OFFSET
+from repro.align.kernels import (
+    ORIGIN_D_EXT_BIT,
+    ORIGIN_I_EXT_BIT,
+    ORIGIN_M_DEL,
+    ORIGIN_M_INS,
+    ORIGIN_M_SUB,
+    compute_kernel,
+    extend_kernel,
+    pad_sequence,
+)
+
+NULL = NULL_OFFSET
+
+
+def arr(*values):
+    return np.array(values, dtype=np.int64)
+
+
+class TestPadSequence:
+    def test_length_and_sentinel(self):
+        p = pad_sequence("ACGT", sentinel=0xFF)
+        assert len(p) == 4 + 16
+        assert (p[4:] == 0xFF).all()
+        assert bytes(p[:4]) == b"ACGT"
+
+    def test_empty(self):
+        p = pad_sequence("", sentinel=0xFE)
+        assert len(p) == 16
+        assert (p == 0xFE).all()
+
+
+class TestExtendKernel:
+    def _run(self, a, b, offsets, lo):
+        av = pad_sequence(a, sentinel=0xFF)
+        bv = pad_sequence(b, sentinel=0xFE)
+        return extend_kernel(av, bv, len(a), len(b), arr(*offsets), lo)
+
+    def test_full_match_single_diagonal(self):
+        out = self._run("ACGT", "ACGT", [0], 0)
+        assert out.offsets[0] == 4
+        assert out.matches == 4
+        assert out.blocks[0] == 1
+
+    def test_stops_at_mismatch(self):
+        out = self._run("ACGTAA", "ACGTTT", [0], 0)
+        assert out.offsets[0] == 4
+        # 4 matches + 1 discovery compare.
+        assert out.comparisons == 5
+
+    def test_null_cells_skipped(self):
+        out = self._run("ACGT", "ACGT", [NULL, 0, NULL], -1)
+        assert out.offsets[0] == NULL
+        assert out.offsets[2] == NULL
+        assert out.offsets[1] == 4
+        assert out.blocks[0] == 0 and out.blocks[2] == 0
+
+    def test_multi_block_counts(self):
+        a = "A" * 40
+        out = self._run(a, a, [0], 0)
+        assert out.offsets[0] == 40
+        # 40 bases = ceil(40/16) = 3 comparator blocks.
+        assert out.blocks[0] == 3
+        # No discovery compare: the run was cut by the sequence end.
+        assert out.comparisons == 40
+
+    def test_block_boundary_exact(self):
+        a = "A" * 16
+        out = self._run(a, a, [0], 0)
+        assert out.offsets[0] == 16
+        # One full block, then the boundary retires the cell: the second
+        # block is never issued because i/j already reached the ends.
+        assert out.blocks[0] in (1, 2)
+
+    def test_offset_mid_sequence(self):
+        # Start at offset 2 on diagonal 0: positions 2.. of both.
+        out = self._run("AACGT", "AACGT", [2], 0)
+        assert out.offsets[0] == 5
+
+    def test_diagonal_shift(self):
+        # k = 1: i = offset - 1.  a="CGT" vs b="ACGT" from offset 1.
+        out = self._run("CGT", "ACGT", [1], 1)
+        assert out.offsets[0] == 4
+
+    def test_boundary_cell_no_extension(self):
+        # offset already at text end -> no blocks, no matches.
+        out = self._run("AC", "AC", [2], 0)
+        assert out.offsets[0] == 2
+        assert out.blocks[0] == 0
+        assert out.matches == 0
+
+    def test_many_cells_mixed(self):
+        a = "ACGTACGTACGT"
+        out = self._run(a, a, [0, 1, NULL, 0], -1)
+        # k=-1 cell: i = 0 - (-1) = 1 -> compares a[1:] vs b[0:].
+        assert out.offsets[3] >= 0
+
+    def test_sentinels_never_match_each_other(self):
+        # Past both ends the sentinels differ, so extension cannot run
+        # into the padding even when both cursors leave their sequences.
+        out = self._run("", "", [0], 0)
+        assert out.offsets[0] == 0
+        assert out.matches == 0
+
+
+class TestComputeKernel:
+    def test_matches_eq3_by_hand(self):
+        # One diagonal k=0 with M[s-x,k]=2, I sources null, D sources null.
+        ks = arr(0)
+        out = compute_kernel(
+            arr(2), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 10, 10
+        )
+        assert out.m[0] == 3  # substitution advances the offset
+        assert out.i[0] == NULL
+        assert out.d[0] == NULL
+
+    def test_insertion_open_and_extend(self):
+        ks = arr(1)
+        # open: M[s-oe, 0] = 5 -> I = 6; extend: I[s-e, 0] = 7 -> I = 8.
+        out = compute_kernel(
+            arr(NULL), arr(5), arr(7), arr(NULL), arr(NULL), ks, 20, 20
+        )
+        assert out.i[0] == 8
+        assert out.m[0] == 8  # M inherits the I value
+
+    def test_deletion_no_offset_advance(self):
+        ks = arr(-1)
+        # deletion keeps the offset: D[s,k] = max(M[s-oe,k+1], D[s-e,k+1]).
+        out = compute_kernel(
+            arr(NULL), arr(NULL), arr(NULL), arr(4), arr(6), ks, 20, 20
+        )
+        assert out.d[0] == 6
+        assert out.m[0] == 6
+
+    def test_dead_cell_beyond_text_masked(self):
+        ks = arr(0)
+        # Substitution would push offset to m+1 -> dead.
+        out = compute_kernel(
+            arr(5), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 10, 5
+        )
+        assert out.m[0] == NULL
+
+    def test_dead_candidate_does_not_shadow_live_one(self):
+        ks = arr(0)
+        # Insertion candidate overshoots (offset 6 > m=5) but the
+        # substitution lands exactly at the boundary; M must keep it.
+        out = compute_kernel(
+            arr(4), arr(5), arr(NULL), arr(NULL), arr(NULL), ks, 10, 5
+        )
+        assert out.i[0] == NULL
+        assert out.m[0] == 5
+
+    def test_dead_cell_beyond_pattern_masked(self):
+        # i = offset - k > n -> dead.  offset 9, k = -2 -> i = 11 > n = 10.
+        ks = arr(-2)
+        out = compute_kernel(
+            arr(8), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 10, 20
+        )
+        assert out.m[0] == NULL
+
+    def test_any_live_flag(self):
+        ks = arr(0)
+        dead = compute_kernel(
+            arr(NULL), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 5, 5
+        )
+        assert not dead.any_live
+        live = compute_kernel(
+            arr(1), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 5, 5
+        )
+        assert live.any_live
+
+    def test_no_origins_by_default(self):
+        ks = arr(0)
+        out = compute_kernel(
+            arr(1), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 5, 5
+        )
+        assert out.origins is None
+
+
+class TestOriginEncoding:
+    def test_sub_origin(self):
+        ks = arr(0)
+        out = compute_kernel(
+            arr(2), arr(NULL), arr(NULL), arr(NULL), arr(NULL), ks, 9, 9,
+            emit_origins=True,
+        )
+        assert out.origins[0] & 0b111 == ORIGIN_M_SUB
+
+    def test_ins_origin_with_extend_bit(self):
+        ks = arr(1)
+        out = compute_kernel(
+            arr(NULL), arr(5), arr(7), arr(NULL), arr(NULL), ks, 20, 20,
+            emit_origins=True,
+        )
+        assert out.origins[0] & 0b111 == ORIGIN_M_INS
+        assert out.origins[0] & ORIGIN_I_EXT_BIT  # 7 (extend) beat 5 (open)
+
+    def test_ins_origin_open(self):
+        ks = arr(1)
+        out = compute_kernel(
+            arr(NULL), arr(9), arr(3), arr(NULL), arr(NULL), ks, 20, 20,
+            emit_origins=True,
+        )
+        assert out.origins[0] & 0b111 == ORIGIN_M_INS
+        assert not (out.origins[0] & ORIGIN_I_EXT_BIT)
+
+    def test_del_origin_bits(self):
+        ks = arr(-1)
+        out = compute_kernel(
+            arr(NULL), arr(NULL), arr(NULL), arr(2), arr(8), ks, 20, 20,
+            emit_origins=True,
+        )
+        assert out.origins[0] & 0b111 == ORIGIN_M_DEL
+        assert out.origins[0] & ORIGIN_D_EXT_BIT
+
+    def test_sub_preferred_on_tie(self):
+        # All three sources produce the same offset: backtrace preference
+        # order is substitution first.
+        ks = arr(0)
+        out = compute_kernel(
+            arr(5), arr(5), arr(NULL), arr(6), arr(NULL), ks, 20, 20,
+            emit_origins=True,
+        )
+        assert out.m[0] == 6
+        assert out.origins[0] & 0b111 == ORIGIN_M_SUB
+
+    def test_origins_fit_five_bits(self):
+        # §4.3.3: origins are concatenated into 5 bits per cell.
+        rng = np.random.default_rng(7)
+        vals = rng.integers(-1, 12, size=(5, 32)).astype(np.int64)
+        vals[vals < 0] = NULL
+        ks = np.arange(-16, 16, dtype=np.int64)
+        out = compute_kernel(
+            vals[0], vals[1], vals[2], vals[3], vals[4], ks, 100, 100,
+            emit_origins=True,
+        )
+        assert (out.origins < 32).all()

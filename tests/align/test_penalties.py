@@ -1,0 +1,72 @@
+"""Unit tests for the scoring models."""
+
+import pytest
+
+from repro.align import AffinePenalties, DEFAULT_PENALTIES, LinearPenalties
+
+
+class TestAffinePenalties:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_PENALTIES.mismatch == 4
+        assert DEFAULT_PENALTIES.gap_open == 6
+        assert DEFAULT_PENALTIES.gap_extend == 2
+
+    def test_gap_open_total(self):
+        assert DEFAULT_PENALTIES.gap_open_total == 8
+        assert AffinePenalties(1, 0, 3).gap_open_total == 3
+
+    def test_score_granularity_default(self):
+        # gcd(4, 8, 2) = 2: the paper's wavefront scores are all even.
+        assert DEFAULT_PENALTIES.score_granularity == 2
+
+    def test_score_granularity_coprime(self):
+        assert AffinePenalties(3, 4, 1).score_granularity == 1
+
+    def test_gap_cost(self):
+        p = DEFAULT_PENALTIES
+        assert p.gap_cost(0) == 0
+        assert p.gap_cost(1) == 8  # open + extend
+        assert p.gap_cost(5) == 6 + 2 * 5
+
+    def test_gap_cost_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PENALTIES.gap_cost(-1)
+
+    def test_max_window_span(self):
+        assert DEFAULT_PENALTIES.max_window_span() == 8
+        assert AffinePenalties(10, 1, 2).max_window_span() == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mismatch": 0},
+            {"mismatch": -1},
+            {"gap_open": -1},
+            {"gap_extend": 0},
+            {"gap_extend": -3},
+        ],
+    )
+    def test_invalid_penalties_rejected(self, kwargs):
+        base = {"mismatch": 4, "gap_open": 6, "gap_extend": 2}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            AffinePenalties(**base)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PENALTIES.mismatch = 5  # type: ignore[misc]
+
+
+class TestLinearPenalties:
+    def test_as_affine_equivalent(self):
+        lin = LinearPenalties(mismatch=4, gap=2)
+        aff = lin.as_affine()
+        assert aff.gap_open == 0
+        assert aff.gap_cost(3) == 3 * lin.gap
+
+    @pytest.mark.parametrize("kwargs", [{"mismatch": 0}, {"gap": 0}])
+    def test_invalid_rejected(self, kwargs):
+        base = {"mismatch": 4, "gap": 2}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            LinearPenalties(**base)

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the alignment substrate.
+
+The central invariant of the whole repository: WFA is an *exact* algorithm,
+so for any sequence pair and any valid penalty set it must reproduce the
+SWG dynamic-programming optimum, and every emitted CIGAR must be a valid
+alignment whose Eq. 5 score equals the reported score.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.align import (
+    AffinePenalties,
+    Cigar,
+    swg_align,
+    wfa_align,
+    wfa_align_vectorized,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=48)
+
+penalty_sets = st.builds(
+    AffinePenalties,
+    mismatch=st.integers(min_value=1, max_value=8),
+    gap_open=st.integers(min_value=0, max_value=10),
+    gap_extend=st.integers(min_value=1, max_value=5),
+)
+
+
+@given(a=dna, b=dna, penalties=penalty_sets)
+@settings(max_examples=150, deadline=None)
+def test_wfa_equals_swg(a, b, penalties):
+    assert wfa_align(a, b, penalties).score == swg_align(a, b, penalties).score
+
+
+@given(a=dna, b=dna, penalties=penalty_sets)
+@settings(max_examples=150, deadline=None)
+def test_vectorized_equals_swg(a, b, penalties):
+    r = wfa_align_vectorized(a, b, penalties)
+    assert r.score == swg_align(a, b, penalties).score
+    r.cigar.validate(a, b)
+    assert r.cigar.score(penalties) == r.score
+
+
+@given(a=dna, b=dna, penalties=penalty_sets)
+@settings(max_examples=100, deadline=None)
+def test_swg_cigar_is_consistent(a, b, penalties):
+    r = swg_align(a, b, penalties)
+    r.cigar.validate(a, b)
+    assert r.cigar.score(penalties) == r.score
+
+
+@given(a=dna, b=dna, penalties=penalty_sets)
+@settings(max_examples=100, deadline=None)
+def test_score_symmetry(a, b, penalties):
+    assert swg_align(a, b, penalties).score == swg_align(b, a, penalties).score
+
+
+@given(a=dna, penalties=penalty_sets)
+@settings(max_examples=60, deadline=None)
+def test_self_alignment_is_free(a, penalties):
+    r = wfa_align(a, a, penalties)
+    assert r.score == 0
+    assert r.cigar.ops == "M" * len(a)
+
+
+@given(a=dna, b=dna, penalties=penalty_sets)
+@settings(max_examples=100, deadline=None)
+def test_score_upper_bound(a, b, penalties):
+    # Deleting a then inserting b is always feasible.
+    bound = penalties.gap_cost(len(a)) + penalties.gap_cost(len(b))
+    assert wfa_align(a, b, penalties).score <= bound
+
+
+@given(ops=st.lists(st.sampled_from("MXID"), max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_cigar_compact_roundtrip(ops):
+    c = Cigar("".join(ops))
+    assert Cigar.from_compact(c.compact()).ops == c.ops
+
+
+@given(a=dna, b=dna)
+@settings(max_examples=60, deadline=None)
+def test_cigar_render_columns(a, b):
+    r = swg_align(a, b)
+    rendered = r.cigar.render(a, b)
+    top, mid, bot = rendered.split("\n")
+    assert len(top) == len(mid) == len(bot) == len(r.cigar)
+    assert top.replace("-", "") == a
+    assert bot.replace("-", "") == b

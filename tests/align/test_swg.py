@@ -1,0 +1,128 @@
+"""Unit tests for the gap-affine DP oracle (Eq. 2)."""
+
+import random
+
+import pytest
+
+from repro.align import AffinePenalties, DEFAULT_PENALTIES, swg_align, swg_score
+from repro.align.swg import swg_matrices
+
+from tests.util import mutate, random_pair, random_seq
+
+
+class TestBasicCases:
+    def test_identical(self):
+        r = swg_align("ACGTACGT", "ACGTACGT")
+        assert r.score == 0
+        assert r.cigar.ops == "M" * 8
+
+    def test_single_mismatch(self):
+        r = swg_align("ACGT", "AGGT")
+        assert r.score == DEFAULT_PENALTIES.mismatch
+        assert r.cigar.ops == "MXMM"
+
+    def test_single_insertion(self):
+        r = swg_align("ACGT", "ACGGT")
+        assert r.score == DEFAULT_PENALTIES.gap_open_total
+        assert r.cigar.counts()["I"] == 1
+
+    def test_single_deletion(self):
+        r = swg_align("ACGGT", "ACGT")
+        assert r.score == DEFAULT_PENALTIES.gap_open_total
+        assert r.cigar.counts()["D"] == 1
+
+    def test_long_gap_prefers_one_opening(self):
+        # A 3-long gap must cost o + 3e, not 3(o + e).
+        r = swg_align("AAATTTAAA", "AAAAAA")
+        assert r.score == 6 + 3 * 2
+        assert r.cigar.num_gap_opens() == 1
+
+    def test_empty_pattern(self):
+        r = swg_align("", "ACG")
+        assert r.score == DEFAULT_PENALTIES.gap_cost(3)
+        assert r.cigar.ops == "III"
+
+    def test_empty_text(self):
+        r = swg_align("ACG", "")
+        assert r.score == DEFAULT_PENALTIES.gap_cost(3)
+        assert r.cigar.ops == "DDD"
+
+    def test_both_empty(self):
+        r = swg_align("", "")
+        assert r.score == 0
+        assert len(r.cigar) == 0
+
+    def test_two_substitutions(self):
+        # GATACA vs GAGATA aligns with two substitutions under (4, 6, 2):
+        # gaps would cost at least 2*(6+2) = 16 > 2*4.
+        a, b = "GATACA", "GAGATA"
+        r = swg_align(a, b)
+        assert r.score == 8
+        assert r.cigar.counts()["X"] == 2
+        assert r.cigar.counts()["I"] == r.cigar.counts()["D"] == 0
+
+
+class TestProperties:
+    def test_cigar_consistent_with_score(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            a, b = random_pair(rng, rng.randint(0, 50), 0.2)
+            r = swg_align(a, b)
+            r.cigar.validate(a, b)
+            assert r.cigar.score(DEFAULT_PENALTIES) == r.score
+
+    def test_symmetry_swaps_insertions_deletions(self):
+        rng = random.Random(12)
+        for _ in range(30):
+            a, b = random_pair(rng, rng.randint(1, 40), 0.3)
+            ra = swg_align(a, b)
+            rb = swg_align(b, a)
+            assert ra.score == rb.score
+            ca, cb = ra.cigar.counts(), rb.cigar.counts()
+            assert ca["X"] == cb["X"]
+            assert ca["I"] == cb["D"]
+            assert ca["D"] == cb["I"]
+
+    def test_score_zero_iff_equal(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            a = random_seq(rng, rng.randint(1, 40))
+            b = mutate(rng, a, 0.1)
+            assert (swg_score(a, b) == 0) == (a == b)
+
+    def test_triangle_like_upper_bound(self):
+        # Score can never exceed the cost of deleting a and inserting b.
+        rng = random.Random(14)
+        p = DEFAULT_PENALTIES
+        for _ in range(30):
+            a = random_seq(rng, rng.randint(1, 30))
+            b = random_seq(rng, rng.randint(1, 30))
+            assert swg_score(a, b) <= p.gap_cost(len(a)) + p.gap_cost(len(b))
+
+    def test_custom_penalties_change_optimum(self):
+        # With huge gap penalties the aligner must prefer mismatches.
+        a, b = "AAAA", "AATA"
+        expensive_gaps = AffinePenalties(mismatch=1, gap_open=100, gap_extend=10)
+        r = swg_align(a, b, expensive_gaps)
+        assert r.cigar.counts()["I"] == 0
+        assert r.cigar.counts()["D"] == 0
+
+
+class TestMatrices:
+    def test_boundary_conditions(self):
+        M, I, D = swg_matrices("AC", "AG", DEFAULT_PENALTIES)
+        assert M[0, 0] == 0
+        # First row is one long insertion: o + j*e.
+        assert M[0, 1] == 8 and M[0, 2] == 10
+        assert D[1, 0] == 8 and D[2, 0] == 10
+
+    def test_final_cell_is_score(self):
+        a, b = "ACGTT", "AGGT"
+        M, _, _ = swg_matrices(a, b, DEFAULT_PENALTIES)
+        assert int(M[len(a), len(b)]) == swg_score(a, b)
+
+    @pytest.mark.parametrize("pair", [("A", ""), ("", "A"), ("", "")])
+    def test_degenerate_shapes(self, pair):
+        a, b = pair
+        M, I, D = swg_matrices(a, b, DEFAULT_PENALTIES)
+        assert M.shape == (len(a) + 1, len(b) + 1)

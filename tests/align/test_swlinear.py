@@ -1,0 +1,65 @@
+"""Unit tests for the gap-linear DP aligner (Eq. 1)."""
+
+import random
+
+from repro.align import (
+    AffinePenalties,
+    LinearPenalties,
+    sw_linear_align,
+    sw_linear_score,
+    swg_align,
+)
+
+from tests.util import random_pair, random_seq
+
+
+class TestBasicCases:
+    def test_identical(self):
+        r = sw_linear_align("ACGT", "ACGT")
+        assert r.score == 0
+        assert r.cigar.ops == "MMMM"
+
+    def test_mismatch(self):
+        assert sw_linear_score("ACGT", "AGGT") == 4
+
+    def test_gap_linear_in_length(self):
+        # Each gap character costs the same: no opening discount.
+        p = LinearPenalties(mismatch=4, gap=2)
+        assert sw_linear_score("AAAA", "AA", p) == 4
+        assert sw_linear_score("AAAAAA", "AA", p) == 8
+
+    def test_empty(self):
+        assert sw_linear_score("", "") == 0
+        assert sw_linear_score("ACG", "") == 6
+        assert sw_linear_score("", "ACG") == 6
+
+
+class TestCrossChecks:
+    def test_matches_affine_with_zero_open(self):
+        # Gap-linear == gap-affine with o = 0 (same optimum).
+        rng = random.Random(41)
+        lin = LinearPenalties(mismatch=4, gap=2)
+        aff = AffinePenalties(mismatch=4, gap_open=0, gap_extend=2)
+        for _ in range(40):
+            a, b = random_pair(rng, rng.randint(0, 40), 0.25)
+            assert sw_linear_score(a, b, lin) == swg_align(a, b, aff).score
+
+    def test_linear_never_better_than_its_affine_relaxation(self):
+        # Affine with the same per-char gap cost but an opening surcharge
+        # can only be >= the linear optimum.
+        rng = random.Random(42)
+        lin = LinearPenalties(mismatch=4, gap=2)
+        aff = AffinePenalties(mismatch=4, gap_open=6, gap_extend=2)
+        for _ in range(30):
+            a = random_seq(rng, rng.randint(0, 30))
+            b = random_seq(rng, rng.randint(0, 30))
+            assert sw_linear_score(a, b, lin) <= swg_align(a, b, aff).score
+
+    def test_cigar_consistent(self):
+        rng = random.Random(43)
+        p = LinearPenalties(4, 2)
+        for _ in range(30):
+            a, b = random_pair(rng, rng.randint(0, 40), 0.2)
+            r = sw_linear_align(a, b, p)
+            r.cigar.validate(a, b)
+            assert r.cigar.score(p) == r.score

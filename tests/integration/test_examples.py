@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example must run clean end to end.
+
+The examples double as integration tests of the public API — each one
+asserts its own correctness conditions internally (oracle checks, mapper
+accuracy, overlap recall), so simply running them is a meaningful test.
+The long-running ones are marked slow.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "WFAsic score" in out
+        assert "CIGAR" in out
+
+    def test_soc_batch_alignment(self, capsys):
+        run_example("soc_batch_alignment.py")
+        out = capsys.readouterr().out
+        assert "[OK ]" in out and "[BAD]" not in out
+        assert "speedup" in out
+
+    @pytest.mark.slow
+    def test_read_mapping(self, capsys):
+        run_example("read_mapping.py")
+        assert "reads mapped to their true location" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_long_read_overlap(self, capsys):
+        run_example("long_read_overlap.py")
+        out = capsys.readouterr().out
+        assert "spurious overlaps accepted: 0" in out
+
+    @pytest.mark.slow
+    def test_design_space_exploration(self, capsys):
+        run_example("design_space_exploration.py")
+        assert "Kpairs/s/mm2" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_throughput_analysis(self, capsys):
+        run_example("throughput_analysis.py")
+        out = capsys.readouterr().out
+        assert "pipelining gain" in out
+        assert "aligner 0" in out  # the Gantt render

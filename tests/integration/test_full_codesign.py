@@ -1,0 +1,113 @@
+"""Integration tests: the whole co-design stack, end to end (Fig. 4).
+
+These tests exercise the full path — workload generation, byte-exact
+memory image, MMIO-driven accelerator, result streams, CPU backtrace —
+and cross-check every outcome against the SWG oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.align import DEFAULT_PENALTIES, swg_align
+from repro.soc import Soc
+from repro.verify import EquivalenceChecker
+from repro.wfasic import WfasicConfig
+from repro.workloads import PairGenerator, SequencePair, make_input_set
+
+from tests.util import random_pair
+
+
+class TestCodesignFlow:
+    def test_paper_configuration_bt_on(self):
+        pairs = make_input_set("1K-5%", 3)
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = soc.run_accelerated(pairs)
+        for p in pairs:
+            ref = swg_align(p.pattern, p.text)
+            assert out.scores[p.pair_id] == ref.score
+            cigar = out.cigars[p.pair_id]
+            cigar.validate(p.pattern, p.text)
+            assert cigar.score(DEFAULT_PENALTIES) == ref.score
+
+    def test_mixed_batch_with_broken_pairs(self):
+        """Broken pairs are rejected pair-wise; healthy pairs still align."""
+        rng = random.Random(123)
+        pairs = []
+        for i in range(6):
+            a, b = random_pair(rng, 40, 0.2)
+            if i == 2:
+                a = a[:10] + "N" + a[10:]  # unsupported base
+            pairs.append(SequencePair(pattern=a, text=b, pair_id=i))
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = soc.run_accelerated(pairs)
+        assert not out.success[2]
+        for p in pairs:
+            if p.pair_id == 2:
+                continue
+            assert out.success[p.pair_id]
+            assert out.scores[p.pair_id] == swg_align(p.pattern, p.text).score
+
+    def test_score_limit_pair_flagged_not_fatal(self):
+        """A pair beyond Eq. 6's score budget fails alone."""
+        good = SequencePair(pattern="ACGT" * 10, text="ACGT" * 10, pair_id=0)
+        bad = SequencePair(pattern="A" * 60, text="T" * 60, pair_id=1)
+        soc = Soc(WfasicConfig(k_max=20, backtrace=True))
+        out = soc.run_accelerated([good, bad])
+        assert out.success[0] and not out.success[1]
+        assert out.cigars[1] is None
+
+    def test_multi_aligner_end_to_end(self):
+        pairs = make_input_set("100-10%", 10)
+        soc = Soc(WfasicConfig(num_aligners=3, parallel_sections=32, backtrace=True))
+        out = soc.run_accelerated(pairs)
+        for p in pairs:
+            assert out.success[p.pair_id]
+            out.cigars[p.pair_id].validate(p.pattern, p.text)
+
+    def test_driver_register_trace_is_complete(self):
+        """The CPU interacts with the accelerator only through MMIO."""
+        pairs = make_input_set("100-5%", 2)
+        soc = Soc(WfasicConfig.paper_default(backtrace=False))
+        soc.run_accelerated(pairs)
+        # Config registers + start + polls all went over AXI-Lite.
+        assert soc.driver.axi_lite.writes >= 7
+        assert soc.driver.poll_count >= 1
+
+
+class TestEquivalenceCampaign:
+    """The §5.1 verification campaign as an integration test."""
+
+    def test_default_config_campaign(self):
+        report = EquivalenceChecker(seed=11).campaign(count=30, max_len=100)
+        assert report.ok, report.mismatches
+
+    def test_two_aligner_campaign(self):
+        cfg = WfasicConfig(num_aligners=2, parallel_sections=32)
+        report = EquivalenceChecker(cfg, seed=12).campaign(count=20, max_len=80)
+        assert report.ok, report.mismatches
+
+
+class TestScalePaths:
+    def test_1kbp_full_fidelity(self):
+        gen = PairGenerator(length=1000, error_rate=0.08, seed=5)
+        pairs = gen.batch(2)
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = soc.run_accelerated(pairs)
+        for p in pairs:
+            ref = swg_align(p.pattern, p.text)
+            assert out.scores[p.pair_id] == ref.score
+            assert out.cigars[p.pair_id].score(DEFAULT_PENALTIES) == ref.score
+
+    @pytest.mark.slow
+    def test_10kbp_full_fidelity(self):
+        pairs = make_input_set("10K-10%", 1)
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = soc.run_accelerated(pairs)
+        p = pairs[0]
+        cigar = out.cigars[p.pair_id]
+        cigar.validate(p.pattern, p.text)
+        assert cigar.score(DEFAULT_PENALTIES) == out.scores[p.pair_id]
+        # Backtrace stream magnitude sanity (§4.1 mentions ~10 MB/pair at
+        # 10 % error; our origin encoding is a few MB).
+        assert out.backtrace_work.transactions_scanned > 50_000

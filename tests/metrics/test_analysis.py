@@ -1,0 +1,56 @@
+"""Tests for batch utilisation analysis."""
+
+from repro.metrics import analyse_batch
+from repro.wfasic import WfasicAccelerator, WfasicConfig
+from repro.wfasic.packets import encode_input_image, round_up_read_len
+from repro.workloads import make_input_set
+
+
+def run_batch(name, n, aligners=1, backtrace=False):
+    pairs = make_input_set(name, n)
+    mrl = round_up_read_len(max(p.max_length for p in pairs))
+    cfg = WfasicConfig(num_aligners=aligners, backtrace=backtrace)
+    return WfasicAccelerator(cfg).run_image(encode_input_image(pairs, mrl), mrl)
+
+
+class TestAnalyseBatch:
+    def test_single_aligner_fully_utilised(self):
+        result = run_batch("1K-10%", 4)
+        analysis = analyse_batch(result)
+        # With one Aligner the makespan is read+align serial: utilisation
+        # is align/(align+read), close to 1 for long reads.
+        assert 0.9 < analysis.aligner_utilisation <= 1.0
+        assert analysis.num_pairs == 4
+        assert not analysis.input_bound
+
+    def test_oversubscribed_aligners_idle(self):
+        # 100 bp reads with 8 Aligners: the input path saturates (Eq. 7
+        # knee ~4), so average utilisation collapses.
+        result = run_batch("100-5%", 16, aligners=8)
+        analysis = analyse_batch(result)
+        assert analysis.aligner_utilisation < 0.5
+        assert analysis.reader_utilisation > 0.8
+        assert analysis.input_bound
+
+    def test_utilisation_monotone_in_aligners(self):
+        utils = []
+        for a in (1, 2, 8):
+            analysis = analyse_batch(run_batch("100-10%", 16, aligners=a))
+            utils.append(analysis.aligner_utilisation)
+        assert utils[0] > utils[1] > utils[2]
+
+    def test_output_utilisation_with_backtrace(self):
+        with_bt = analyse_batch(run_batch("100-10%", 6, backtrace=True))
+        without = analyse_batch(run_batch("100-10%", 6, backtrace=False))
+        assert with_bt.output_utilisation > without.output_utilisation
+
+    def test_empty_batch(self):
+        cfg = WfasicConfig.paper_default(backtrace=False)
+        result = WfasicAccelerator(cfg).run_image(b"", 48)
+        analysis = analyse_batch(result)
+        assert analysis.makespan == 0
+        assert analysis.aligner_utilisation == 0.0
+
+    def test_mean_read_wait_nonnegative(self):
+        analysis = analyse_batch(run_batch("100-5%", 8, aligners=2))
+        assert analysis.mean_read_wait >= 0

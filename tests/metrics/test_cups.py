@@ -1,0 +1,65 @@
+"""Unit tests for GCUPS/speedup metrics."""
+
+import pytest
+
+from repro.metrics import (
+    TABLE2_REFERENCE_ROWS,
+    gcups,
+    gcups_from_cycles,
+    speedup,
+    swg_equivalent_cells,
+)
+
+
+class TestCells:
+    def test_full_matrix(self):
+        assert swg_equivalent_cells(10_000, 10_000) == 10**8
+
+    def test_degenerate(self):
+        assert swg_equivalent_cells(0, 100) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            swg_equivalent_cells(-1, 5)
+
+
+class TestGcups:
+    def test_basic(self):
+        assert gcups(1e9, 1.0) == 1.0
+
+    def test_paper_wfasic_row_arithmetic(self):
+        # §5.5 sanity: 10 kbp pair = 1e8 cells; at the paper's 281 503
+        # cycles (10K-5%, no BT) and 1.1 GHz the GCUPS is ~391 — the
+        # Table 2 "Without Backtrace" row.
+        value = gcups_from_cycles(10**8, 278_083 + 3_420, 1.1e9)
+        assert 380 < value < 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gcups(100, 0)
+        with pytest.raises(ValueError):
+            gcups_from_cycles(100, 0, 1e9)
+        with pytest.raises(ValueError):
+            gcups_from_cycles(100, 10, 0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(1000, 10) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+class TestReferenceRows:
+    def test_paper_values(self):
+        by_name = {r.platform: r for r in TABLE2_REFERENCE_ROWS}
+        gact = by_name["GACT-ASIC [Heuristic]"]
+        assert gact.gcups == 2129 and gact.area_mm2 == 85.6
+        assert round(gact.gcups_per_mm2) == 25
+        gpu = by_name["WFA-GPU [NVIDIA GeForce 3080]"]
+        assert abs(gpu.gcups_per_mm2 - 0.76) < 0.01
+
+    def test_four_reference_rows(self):
+        assert len(TABLE2_REFERENCE_ROWS) == 4

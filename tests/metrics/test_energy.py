@@ -1,0 +1,47 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.metrics import EnergyRow, TABLE_ENERGY_ROWS, energy_per_alignment_j
+
+
+class TestEnergyPerAlignment:
+    def test_basic_arithmetic(self):
+        # 1 W at 1 GCUPS: 1e8 cells take 0.1 s -> 0.1 J.
+        assert energy_per_alignment_j(1.0, 1.0) == pytest.approx(0.1)
+
+    def test_scaling(self):
+        # Twice the throughput halves the energy.
+        e1 = energy_per_alignment_j(10.0, 100.0)
+        e2 = energy_per_alignment_j(10.0, 200.0)
+        assert e1 == pytest.approx(2 * e2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_per_alignment_j(0, 100)
+        with pytest.raises(ValueError):
+            energy_per_alignment_j(100, 0)
+
+
+class TestEnergyRows:
+    def test_six_rows(self):
+        rows = TABLE_ENERGY_ROWS(61.0, 390.0, 0.312)
+        assert len(rows) == 6
+        names = [r.platform for r in rows]
+        assert "WFAsic [With Backtrace]" in names
+        assert "WFAsic [Without Backtrace]" in names
+
+    def test_wfasic_efficiency_dominates(self):
+        rows = TABLE_ENERGY_ROWS(61.0, 390.0, 0.312)
+        by = {r.platform: r for r in rows}
+        wfasic = by["WFAsic [Without Backtrace]"]
+        epyc = by["WFA-CPU on AMD EPYC [64 threads]"]
+        gpu = by["WFA-GPU [NVIDIA GeForce 3080]"]
+        assert wfasic.gcups_per_watt > 1000 * epyc.gcups_per_watt
+        assert wfasic.gcups_per_watt > 100 * gpu.gcups_per_watt
+
+    def test_joules_consistent(self):
+        row = EnergyRow("x", 2.0, 50.0)
+        assert row.joules_per_alignment == pytest.approx(
+            energy_per_alignment_j(2.0, 50.0)
+        )

@@ -1,0 +1,36 @@
+"""Tests for the CSV figure exporter."""
+
+import pytest
+
+from repro.reporting import read_csv, write_csv
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "fig9.csv"
+        rows = [["100-5%", 124.6, 2.9], ["10K-10%", 1050.0, 303.1]]
+        assert write_csv(path, ["input", "nobt", "bt"], rows) == 2
+        headers, back = read_csv(path)
+        assert headers == ["input", "nobt", "bt"]
+        assert back[0] == ["100-5%", "124.6", "2.9"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "fig.csv"
+        write_csv(path, ["a"], [[1]])
+        assert path.exists()
+
+    def test_row_width_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])
+
+    def test_empty_file_rejected_on_read(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_no_rows(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        assert write_csv(path, ["a", "b"], []) == 0
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"] and rows == []

@@ -1,0 +1,49 @@
+"""Tests for the ASCII schedule renderer."""
+
+import pytest
+
+from repro.reporting.schedule import render_schedule
+from repro.wfasic import WfasicAccelerator, WfasicConfig
+from repro.wfasic.packets import encode_input_image, round_up_read_len
+from repro.workloads import make_input_set
+
+
+def run(name="100-10%", n=6, aligners=2):
+    pairs = make_input_set(name, n)
+    mrl = round_up_read_len(max(p.max_length for p in pairs))
+    cfg = WfasicConfig(num_aligners=aligners, backtrace=False)
+    return WfasicAccelerator(cfg).run_image(encode_input_image(pairs, mrl), mrl)
+
+
+class TestRenderSchedule:
+    def test_structure(self):
+        out = render_schedule(run())
+        lines = out.split("\n")
+        assert lines[0].startswith("cycles 0..")
+        assert lines[1].lstrip().startswith("input")
+        assert sum(1 for line in lines if "aligner" in line) == 2
+
+    def test_reads_marked(self):
+        out = render_schedule(run())
+        input_row = [line for line in out.split("\n") if "input" in line][0]
+        assert "r" in input_row
+
+    def test_alignment_digits_present(self):
+        out = render_schedule(run(n=3, aligners=1))
+        aligner_row = [line for line in out.split("\n") if "aligner" in line][0]
+        for digit in "012":
+            assert digit in aligner_row
+
+    def test_width_respected(self):
+        out = render_schedule(run(), width=40)
+        for line in out.split("\n")[1:]:
+            assert len(line) <= 40 + 12  # label + bar
+
+    def test_empty_batch(self):
+        cfg = WfasicConfig.paper_default(backtrace=False)
+        result = WfasicAccelerator(cfg).run_image(b"", 48)
+        assert render_schedule(result) == "(empty batch)"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_schedule(run(), width=4)

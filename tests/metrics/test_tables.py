@@ -1,0 +1,33 @@
+"""Unit tests for the reporting table formatter."""
+
+import pytest
+
+from repro.reporting import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "value"], [[1, 2.5], [300, 40000.0]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        assert lines[0].split(" | ")[0].strip() == "a"
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.startswith("Table 1\n")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[12345.6], [1.239], [0.0]])
+        assert "12,346" in out
+        assert "1.24" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_comparison_note(self):
+        out = format_comparison(
+            ["a"], [[1]], title="T", note="paper reports 2"
+        )
+        assert out.endswith("note: paper reports 2")

@@ -1,0 +1,169 @@
+"""Unit tests for the cache model and the Sargantana cost model."""
+
+import pytest
+
+from repro.align import WfaWorkCounters, wfa_align
+from repro.soc import CacheModel, CpuTimings, SargantanaModel
+from repro.wfasic.backtrace_cpu import CpuBacktraceWork
+
+
+class TestCacheModel:
+    def test_within_l2_no_stall(self):
+        cache = CacheModel()
+        assert cache.memory_factor(0) == 1.0
+        assert cache.memory_factor(32 * 1024) == 1.0
+        assert cache.memory_factor(512 * 1024) == 1.0
+
+    def test_beyond_l2_monotone(self):
+        cache = CacheModel()
+        f1 = cache.memory_factor(1 * 1024 * 1024)
+        f2 = cache.memory_factor(10 * 1024 * 1024)
+        f3 = cache.memory_factor(100 * 1024 * 1024)
+        assert 1.0 < f1 < f2 < f3 <= cache.max_factor
+
+    def test_saturation(self):
+        cache = CacheModel()
+        assert cache.memory_factor(10**15) == cache.max_factor
+
+    def test_fit_predicates(self):
+        cache = CacheModel()
+        assert cache.fits_l1(32 * 1024)
+        assert not cache.fits_l1(33 * 1024)
+        assert cache.fits_l2(512 * 1024)
+        assert not cache.fits_l2(513 * 1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(l1_bytes=0)
+        with pytest.raises(ValueError):
+            CacheModel(l1_bytes=64 * 1024, l2_bytes=32 * 1024)
+        with pytest.raises(ValueError):
+            CacheModel().memory_factor(-1)
+
+
+class TestWfaCycles:
+    def _work(self, cells=1000, cmp=500, steps=20, alloc=1000, width=50):
+        return WfaWorkCounters(
+            score_iterations=steps,
+            wavefront_steps=steps,
+            cells_computed=cells,
+            extend_comparisons=cmp,
+            extend_matches=cmp - steps,
+            peak_wavefront_width=width,
+            cells_allocated=alloc,
+        )
+
+    def test_scalar_composition(self):
+        model = SargantanaModel()
+        t = model.timings
+        work = self._work()
+        cycles = model.wfa_cycles(work, vector=False, backtrace=False)
+        expected = int(
+            t.cell_cycles * 1000 + t.compare_cycles * 500 + t.step_cycles * 20
+            + t.pair_fixed_cycles
+        )
+        assert cycles == expected
+
+    def test_vector_faster_than_scalar(self):
+        model = SargantanaModel()
+        work = self._work(cells=100_000, cmp=50_000)
+        scalar = model.wfa_cycles(work, vector=False)
+        vec = model.wfa_cycles(work, vector=True)
+        assert 2 < scalar / vec < 10
+
+    def test_backtrace_adds_cost(self):
+        model = SargantanaModel()
+        work = self._work()
+        assert model.wfa_cycles(work, backtrace=True) > model.wfa_cycles(
+            work, backtrace=False
+        )
+
+    def test_memory_factor_kicks_in_for_large_runs(self):
+        model = SargantanaModel()
+        small = self._work()
+        huge = self._work(cells=10_000_000, alloc=50_000_000, width=5000)
+        # Per-cell cost ratio exceeds the raw work ratio due to the
+        # memory factor on the larger footprint.
+        c_small = model.wfa_cycles(small)
+        c_huge = model.wfa_cycles(huge)
+        assert c_huge / c_small > (10_000_000 / 1000)
+
+    def test_real_alignment_flow(self):
+        result = wfa_align("ACGTACGTAA", "ACGTTCGTAA")
+        cycles = SargantanaModel().wfa_cycles(
+            result.work, cigar_length=len(result.cigar)
+        )
+        assert cycles > 0
+
+
+class TestBacktraceCycles:
+    def test_no_separation(self):
+        model = SargantanaModel()
+        t = model.timings
+        work = CpuBacktraceWork(
+            transactions_scanned=100, walk_ops=10, match_chars=90
+        )
+        cycles = model.backtrace_cycles(work, num_alignments=2)
+        expected = int(
+            t.scan_txn_cycles * 100
+            + t.walk_op_cycles * 10
+            + t.match_char_cycles * 90
+            + t.bt_pair_fixed_cycles * 2
+        )
+        assert cycles == expected
+
+    def test_separation_dominates(self):
+        model = SargantanaModel()
+        base = CpuBacktraceWork(transactions_scanned=1000)
+        sep = CpuBacktraceWork(transactions_scanned=1000, separation_bytes=10_000)
+        assert model.backtrace_cycles(sep, num_alignments=1) > 5 * model.backtrace_cycles(
+            base, num_alignments=1
+        )
+
+    def test_dram_thrash_penalty(self):
+        model = SargantanaModel()
+        t = model.timings
+        # Per-alignment stream below the L2: the cached separation rate.
+        small = CpuBacktraceWork(
+            transactions_scanned=1000, separation_bytes=10_000
+        )
+        c_small = model.backtrace_cycles(small, num_alignments=1)
+        assert c_small == int(
+            t.scan_txn_cycles * 1000
+            + t.separate_txn_cycles * 1000
+            + t.separate_pair_fixed_cycles
+            + t.bt_pair_fixed_cycles
+        )
+        # One alignment's stream beyond the L2: the DRAM rate applies.
+        big = CpuBacktraceWork(
+            transactions_scanned=1_000_000, separation_bytes=10_000_000
+        )
+        c_big = model.backtrace_cycles(big, num_alignments=1)
+        assert c_big == int(
+            t.scan_txn_cycles * 1_000_000
+            + t.separate_txn_cycles_dram * 1_000_000
+            + t.separate_pair_fixed_cycles
+            + t.bt_pair_fixed_cycles
+        )
+
+    def test_separation_cliff_is_per_alignment(self):
+        model = SargantanaModel()
+        # The same big stream split over many alignments stays cached.
+        work = CpuBacktraceWork(
+            transactions_scanned=1_000_000, separation_bytes=10_000_000
+        )
+        few = model.backtrace_cycles(work, num_alignments=1)
+        many = model.backtrace_cycles(work, num_alignments=1000)
+        assert many < few
+
+    def test_custom_timings(self):
+        t = CpuTimings(scan_txn_cycles=1.0, bt_pair_fixed_cycles=0.0)
+        model = SargantanaModel(timings=t)
+        work = CpuBacktraceWork(transactions_scanned=7)
+        assert model.backtrace_cycles(work, num_alignments=5) == 7
+
+
+class TestInputPrepare:
+    def test_proportional(self):
+        model = SargantanaModel()
+        assert model.input_prepare_cycles(1000) == 2000

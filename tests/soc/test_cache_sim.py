@@ -1,0 +1,139 @@
+"""Tests for the set-associative cache simulator and the WFA trace."""
+
+import numpy as np
+import pytest
+
+from repro.soc import CacheModel
+from repro.soc.cache_sim import CacheSim, Hierarchy, wfa_trace
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(1024, ways=2, line_bytes=64)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(32)  # same line
+        assert c.stats.accesses == 3
+        assert c.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # 2-way set: three conflicting lines evict the oldest.
+        c = CacheSim(2 * 64, ways=2, line_bytes=64)  # 1 set
+        c.access(0)
+        c.access(64)
+        c.access(128)  # evicts line 0
+        assert not c.access(0)
+
+    def test_lru_keeps_recently_used(self):
+        c = CacheSim(2 * 64, ways=2, line_bytes=64)
+        c.access(0)
+        c.access(64)
+        c.access(0)  # refresh line 0
+        c.access(128)  # must evict line 64, not 0
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_working_set_behaviour(self):
+        # A working set within capacity hits ~100% after warm-up.
+        c = CacheSim(32 * 1024, ways=8, line_bytes=64)
+        addrs = np.arange(0, 16 * 1024, 8)
+        for a in addrs:
+            c.access(int(a))
+        before = c.stats.misses
+        for a in addrs:
+            assert c.access(int(a))
+        assert c.stats.misses == before
+
+    def test_thrash_when_oversized(self):
+        c = CacheSim(4 * 1024, ways=4, line_bytes=64)
+        addrs = np.arange(0, 64 * 1024, 64)
+        for _ in range(2):
+            for a in addrs:
+                c.access(int(a))
+        # Streaming 16x the capacity: second pass misses everywhere.
+        assert c.stats.miss_rate > 0.9
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(1000, ways=3, line_bytes=64)
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        h = Hierarchy()
+        first = h.access(0)  # cold: DRAM
+        second = h.access(0)  # L1 hit
+        assert first == h.dram_cycles
+        assert second == h.l1_hit_cycles
+
+    def test_l2_catches_l1_evictions(self):
+        h = Hierarchy(l1_bytes=4 * 1024, l2_bytes=512 * 1024)
+        addrs = np.arange(0, 64 * 1024, 64)
+        h.run_trace(addrs)  # cold pass
+        h2_cycles = h.total_cycles
+        h.run_trace(addrs)  # second pass: L1 too small, L2 holds it
+        assert h.l2.stats.miss_rate < 0.6
+        assert h.total_cycles - h2_cycles < len(addrs) * h.dram_cycles / 2
+
+    def test_amat(self):
+        h = Hierarchy()
+        h.access(0)
+        h.access(0)
+        assert h.amat == (h.dram_cycles + h.l1_hit_cycles) / 2
+
+
+class TestWfaTraceValidatesAnalyticModel:
+    def test_score_only_stays_cached(self):
+        """The windowed (score-only) WFA fits the hierarchy: AMAT small."""
+        trace = wfa_trace(300, 200, backtrace=False)
+        h = Hierarchy()
+        h.run_trace(trace, coalesce=True)
+        # The window stays L1-resident: only compulsory misses remain.
+        assert h.l1.stats.miss_rate < 0.05
+
+    def test_backtrace_mode_pays_allocation_misses(self):
+        """Keeping all wavefronts means every vector write is a fresh
+        allocation (compulsory misses) plus a cold backtrace walk; the
+        windowed mode reuses resident lines.  This is the mechanism
+        behind the §5.5 memory-boundedness of the CPU WFA."""
+        bt = Hierarchy()
+        bt.run_trace(wfa_trace(600, 256, backtrace=True), coalesce=True)
+        so = Hierarchy()
+        so.run_trace(wfa_trace(600, 256, backtrace=False), coalesce=True)
+        assert bt.l1.stats.misses > 2 * so.l1.stats.misses
+        assert bt.amat > so.amat
+
+    def test_walk_misses_grow_with_history(self):
+        """The final backtrace walk touches one cold line per step, so
+        its miss count scales with the alignment's score history."""
+        small = Hierarchy()
+        small.run_trace(wfa_trace(100, 64, backtrace=True), coalesce=True)
+        large = Hierarchy()
+        large.run_trace(wfa_trace(1_000, 64, backtrace=True), coalesce=True)
+        assert large.l2.stats.misses > 5 * small.l2.stats.misses
+
+    def test_analytic_factor_direction_agrees(self):
+        """The analytic CacheModel factor moves the same way as the
+        simulated miss traffic."""
+        analytic = CacheModel()
+        f_small = analytic.memory_factor(100 * 64 * 4)
+        f_large = analytic.memory_factor(1_000 * 640 * 4)
+        assert f_large >= f_small
+        bt = Hierarchy()
+        bt.run_trace(wfa_trace(600, 256, backtrace=True), coalesce=True)
+        so = Hierarchy()
+        so.run_trace(wfa_trace(600, 256, backtrace=False), coalesce=True)
+        # Backtrace mode (larger footprint) must also be the one the
+        # simulator charges more memory cycles.
+        assert bt.total_cycles > so.total_cycles
+
+    def test_empty_trace(self):
+        assert len(wfa_trace(0, 10, backtrace=True)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wfa_trace(-1, 10, backtrace=False)
+        with pytest.raises(ValueError):
+            wfa_trace(10, 0, backtrace=False)

@@ -1,0 +1,101 @@
+"""Unit tests for the register file, AXI buses and interrupt line."""
+
+import pytest
+
+from repro.soc import (
+    AxiFull,
+    AxiLite,
+    InterruptLine,
+    MainMemory,
+    MmioError,
+    Reg,
+    RegisterFile,
+)
+
+
+class TestRegisterFile:
+    def test_idle_after_reset(self):
+        regs = RegisterFile()
+        assert regs.read(Reg.STATUS_IDLE) == 1
+
+    def test_config_registers_writable(self):
+        regs = RegisterFile()
+        regs.write(Reg.MAX_READ_LEN, 10_000)
+        regs.write(Reg.SRC_ADDR, 0x1000)
+        assert regs.read(Reg.MAX_READ_LEN) == 10_000
+        assert regs.read(Reg.SRC_ADDR) == 0x1000
+
+    def test_read_only_registers(self):
+        regs = RegisterFile()
+        with pytest.raises(MmioError):
+            regs.write(Reg.STATUS_IDLE, 0)
+        with pytest.raises(MmioError):
+            regs.write(Reg.DST_SIZE, 4)
+
+    def test_unknown_offset(self):
+        regs = RegisterFile()
+        with pytest.raises(MmioError):
+            regs.read(0x100)
+        with pytest.raises(MmioError):
+            regs.write(0x100, 1)
+
+    def test_start_triggers_callback(self):
+        regs = RegisterFile()
+        fired = []
+        regs.on_start(lambda: fired.append(True))
+        regs.write(Reg.CTRL_START, 1)
+        assert fired == [True]
+
+    def test_start_without_accelerator(self):
+        regs = RegisterFile()
+        with pytest.raises(MmioError):
+            regs.write(Reg.CTRL_START, 1)
+
+    def test_value_range(self):
+        regs = RegisterFile()
+        with pytest.raises(MmioError):
+            regs.write(Reg.SRC_ADDR, 2**32)
+
+    def test_hw_set_bypasses_read_only(self):
+        regs = RegisterFile()
+        regs.hw_set(Reg.STATUS_IDLE, 0)
+        assert regs.read(Reg.STATUS_IDLE) == 0
+
+
+class TestAxiLite:
+    def test_memory_path(self):
+        mem = MainMemory(1024)
+        bus = AxiLite(mem, RegisterFile())
+        bus.write32(16, 0xDEADBEEF)
+        assert bus.read32(16) == 0xDEADBEEF
+        assert bus.reads == 1 and bus.writes == 1
+
+    def test_mmio_path(self):
+        bus = AxiLite(MainMemory(64), RegisterFile())
+        bus.write32(AxiLite.MMIO_BASE + Reg.SRC_SIZE, 4096)
+        assert bus.read32(AxiLite.MMIO_BASE + Reg.SRC_SIZE) == 4096
+
+
+class TestAxiFull:
+    def test_stream_roundtrip(self):
+        mem = MainMemory(1024)
+        bus = AxiFull(mem)
+        bus.write_stream(0, b"x" * 33)
+        assert bus.read_stream(0, 33) == b"x" * 33
+        # 33 bytes = 3 beats each way.
+        assert bus.beats_written == 3
+        assert bus.beats_read == 3
+
+
+class TestInterruptLine:
+    def test_dispatch(self):
+        irq = InterruptLine()
+        hits = []
+        irq.connect(lambda: hits.append(1))
+        irq.connect(lambda: hits.append(2))
+        irq.raise_()
+        assert hits == [1, 2]
+        assert irq.pending
+        irq.clear()
+        assert not irq.pending
+        assert irq.raised_count == 1

@@ -1,0 +1,50 @@
+"""Tests for the overlapped (pipelined) batch flow."""
+
+from repro.align import swg_align
+from repro.soc import Soc
+from repro.soc.overlap import run_overlapped
+from repro.wfasic import WfasicConfig
+from repro.workloads import make_input_set
+
+
+def batches(name, per_batch, count):
+    pairs = make_input_set(name, per_batch * count)
+    return [pairs[i * per_batch : (i + 1) * per_batch] for i in range(count)]
+
+
+class TestOverlappedFlow:
+    def test_results_identical_to_sequential(self):
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        bs = batches("100-10%", 3, 3)
+        out = run_overlapped(soc, bs)
+        for batch, outcome in zip(bs, out.outcomes):
+            for p in batch:
+                assert outcome.scores[p.pair_id] == swg_align(p.pattern, p.text).score
+
+    def test_pipelining_saves_cycles(self):
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = run_overlapped(soc, batches("1K-5%", 2, 4))
+        assert out.overlapped_cycles < out.sequential_cycles
+        assert out.speedup > 1.1
+
+    def test_speedup_bounded_by_two(self):
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = run_overlapped(soc, batches("100-10%", 3, 4))
+        assert 1.0 <= out.speedup <= 2.0
+
+    def test_no_backtrace_no_overlap_gain(self):
+        # With backtrace off the CPU stage is empty: nothing to overlap.
+        soc = Soc(WfasicConfig.paper_default(backtrace=False))
+        out = run_overlapped(soc, batches("100-5%", 3, 3), backtrace=False)
+        assert out.speedup == 1.0
+
+    def test_single_batch_degenerate(self):
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = run_overlapped(soc, batches("100-5%", 3, 1))
+        assert out.sequential_cycles == out.overlapped_cycles
+
+    def test_empty(self):
+        soc = Soc(WfasicConfig.paper_default(backtrace=True))
+        out = run_overlapped(soc, [])
+        assert out.speedup == 1.0
+        assert out.sequential_cycles == 0

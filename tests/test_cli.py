@@ -1,0 +1,147 @@
+"""Tests for the repro-wfasic command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import read_seq_file
+
+
+class TestGenerate:
+    def test_named_set(self, tmp_path, capsys):
+        out = tmp_path / "set.seq"
+        assert main(["generate", str(out), "--set", "100-5%", "-n", "3"]) == 0
+        pairs = read_seq_file(out)
+        assert len(pairs) == 3
+        assert all(len(p.pattern) == 100 for p in pairs)
+        assert "wrote 3 pairs" in capsys.readouterr().out
+
+    def test_custom_parameters(self, tmp_path):
+        out = tmp_path / "custom.seq"
+        assert (
+            main(
+                [
+                    "generate", str(out),
+                    "--length", "64", "--error-rate", "0.2", "-n", "5",
+                ]
+            )
+            == 0
+        )
+        pairs = read_seq_file(out)
+        assert len(pairs) == 5
+        assert all(len(p.pattern) == 64 for p in pairs)
+
+    def test_set_and_length_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", str(tmp_path / "x.seq"), "--set", "100-5%",
+                  "--length", "64"])
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a, b = tmp_path / "a.seq", tmp_path / "b.seq"
+        main(["generate", str(a), "--length", "50", "--seed", "9"])
+        main(["generate", str(b), "--length", "50", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestAlign:
+    @pytest.fixture()
+    def seq_file(self, tmp_path):
+        out = tmp_path / "in.seq"
+        main(["generate", str(out), "--set", "100-10%", "-n", "3"])
+        return str(out)
+
+    def test_accelerated(self, seq_file, capsys):
+        assert main(["align", seq_file]) == 0
+        out = capsys.readouterr().out
+        assert "3 pairs, 0 failures" in out
+        assert "score=" in out
+
+    def test_backtrace_prints_cigars(self, seq_file, capsys):
+        assert main(["align", seq_file, "--backtrace"]) == 0
+        assert "cigar=" in capsys.readouterr().out
+
+    def test_cpu_engines(self, seq_file, capsys):
+        assert main(["align", seq_file, "--engine", "cpu-scalar"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(["align", seq_file, "--engine", "cpu-vector"]) == 0
+        vector = capsys.readouterr().out
+        assert "CPU cycles" in scalar and "CPU cycles" in vector
+
+    def test_engines_agree_on_scores(self, seq_file, capsys):
+        main(["align", seq_file, "--engine", "accel"])
+        accel = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("pair")
+        ]
+        main(["align", seq_file, "--engine", "cpu-scalar"])
+        cpu = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("pair")
+        ]
+        assert accel == cpu
+
+    def test_quiet(self, seq_file, capsys):
+        assert main(["align", seq_file, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "pair 0" not in out
+        assert "3 pairs" in out
+
+    def test_multi_aligner_config(self, seq_file, capsys):
+        assert main(["align", seq_file, "--aligners", "2",
+                     "--parallel-sections", "32"]) == 0
+        assert "2x32PS" in capsys.readouterr().out
+
+    def test_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.seq"
+        empty.write_text("")
+        assert main(["align", str(empty)]) == 1
+
+
+class TestReport:
+    def test_asic(self, capsys):
+        assert main(["report", "--what", "asic"]) == 0
+        out = capsys.readouterr().out
+        assert "memory macros" in out and "260" in out
+
+    def test_fpga(self, capsys):
+        assert main(["report", "--what", "fpga"]) == 0
+        out = capsys.readouterr().out
+        assert "fits U280" in out and "True" in out
+
+    def test_custom_kmax(self, capsys):
+        assert main(["report", "--what", "asic", "--k-max", "100"]) == 0
+        assert "204" in capsys.readouterr().out  # Eq. 6: 100*2+4
+
+
+class TestVerify:
+    def test_clean_campaign(self, capsys):
+        assert main(["verify", "-n", "6", "--max-len", "40"]) == 0
+        assert "all engines agree" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestStats:
+    def test_summary_and_preflight(self, tmp_path, capsys):
+        out = tmp_path / "s.seq"
+        main(["generate", str(out), "--set", "100-10%", "-n", "4"])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "4 pairs" in text
+        assert "SUPPORTED" in text
+
+    def test_at_risk_with_tiny_kmax(self, tmp_path, capsys):
+        out = tmp_path / "s.seq"
+        main(["generate", str(out), "--set", "100-10%", "-n", "3"])
+        capsys.readouterr()
+        assert main(["stats", str(out), "--k-max", "8"]) == 0
+        assert "AT RISK" in capsys.readouterr().out
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "e.seq"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1

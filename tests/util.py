@@ -1,0 +1,49 @@
+"""Shared helpers for the test suite: deterministic sequence generation."""
+
+from __future__ import annotations
+
+import random
+
+DNA = "ACGT"
+
+
+def random_seq(rng: random.Random, length: int) -> str:
+    """Uniform random DNA sequence of the given length."""
+    return "".join(rng.choice(DNA) for _ in range(length))
+
+
+def mutate(
+    rng: random.Random,
+    seq: str,
+    rate: float,
+    *,
+    mix: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+) -> str:
+    """Apply uniform random errors at the given per-base rate.
+
+    ``mix`` gives the relative weight of (mismatch, insertion, deletion);
+    this mirrors the synthetic-input methodology of the paper (§5.3).
+    """
+    w_sub, w_ins, w_del = mix
+    total = w_sub + w_ins + w_del
+    out: list[str] = []
+    for ch in seq:
+        r = rng.random()
+        if r < rate:
+            kind = rng.random() * total
+            if kind < w_sub:
+                out.append(rng.choice([c for c in DNA if c != ch]))
+            elif kind < w_sub + w_ins:
+                out.append(rng.choice(DNA) + ch)
+            # deletion: emit nothing
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def random_pair(
+    rng: random.Random, length: int, rate: float
+) -> tuple[str, str]:
+    """A pattern and an error-mutated copy of it."""
+    a = random_seq(rng, length)
+    return a, mutate(rng, a, rate)

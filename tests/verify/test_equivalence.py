@@ -1,0 +1,34 @@
+"""Tests for the LEC/GLS-analog differential checker."""
+
+from repro.verify import EquivalenceChecker
+from repro.wfasic import WfasicConfig
+
+
+class TestCampaigns:
+    def test_default_configuration_clean(self):
+        report = EquivalenceChecker(seed=1).campaign(count=25, max_len=80)
+        assert report.pairs_checked == 25
+        assert report.ok, report.mismatches
+
+    def test_multi_aligner_configuration_clean(self):
+        cfg = WfasicConfig(num_aligners=2, parallel_sections=32)
+        report = EquivalenceChecker(cfg, seed=2).campaign(count=15, max_len=60)
+        assert report.ok, report.mismatches
+
+    def test_small_kmax_detects_nothing_wrong_when_in_range(self):
+        cfg = WfasicConfig(k_max=256)
+        report = EquivalenceChecker(cfg, seed=3).campaign(count=10, max_len=50)
+        assert report.ok, report.mismatches
+
+    def test_generation_is_deterministic(self):
+        a = EquivalenceChecker(seed=7).generate(5)
+        b = EquivalenceChecker(seed=7).generate(5)
+        assert [(p.pattern, p.text) for p in a] == [(p.pattern, p.text) for p in b]
+
+    def test_checker_catches_injected_bug(self):
+        """Sanity of the checker itself: a config whose score ceiling is
+        too small must surface 'success' mismatches, not silence."""
+        cfg = WfasicConfig(k_max=2)
+        report = EquivalenceChecker(cfg, seed=4).campaign(count=10, max_len=60)
+        assert not report.ok
+        assert any(m.kind == "success" for m in report.mismatches)

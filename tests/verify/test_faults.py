@@ -1,0 +1,62 @@
+"""Fault-injection tests: broken data must never hang or crash (§5.1)."""
+
+import pytest
+
+from repro.verify import FAULT_KINDS, FaultCampaign
+from repro.wfasic import Extractor, WfasicConfig
+from repro.wfasic.packets import encode_input_image, round_up_read_len
+from repro.workloads import make_input_set
+
+
+@pytest.fixture(scope="module")
+def healthy_image():
+    pairs = make_input_set("100-10%", 4)
+    mrl = round_up_read_len(max(p.max_length for p in pairs))
+    image = encode_input_image(pairs, mrl)
+    record = Extractor(mrl).record_size()
+    return image, mrl, record
+
+
+class TestFaultCampaign:
+    def test_every_fault_kind_handled_gracefully(self, healthy_image):
+        image, mrl, record = healthy_image
+        outcomes = FaultCampaign().run_all(image, mrl, record)
+        assert len(outcomes) == len(FAULT_KINDS)
+        for outcome in outcomes:
+            assert not outcome.hung_or_crashed, outcome
+
+    def test_huge_length_rejects_only_that_pair(self, healthy_image):
+        image, mrl, record = healthy_image
+        campaign = FaultCampaign()
+        kind = next(k for k in FAULT_KINDS if k.name == "huge_length")
+        outcome = campaign.run_one(image, kind, mrl, record)
+        assert outcome.completed
+        assert outcome.unsupported_pairs >= 1
+
+    def test_truncated_image_raises_typed_error(self, healthy_image):
+        image, mrl, record = healthy_image
+        campaign = FaultCampaign()
+        kind = next(k for k in FAULT_KINDS if k.name == "truncated_image")
+        outcome = campaign.run_one(image, kind, mrl, record)
+        # Either a graceful error or completion; never a hang/crash.
+        assert not outcome.hung_or_crashed
+
+    def test_zeroed_record_completes(self, healthy_image):
+        image, mrl, record = healthy_image
+        kind = next(k for k in FAULT_KINDS if k.name == "zeroed_record")
+        outcome = FaultCampaign().run_one(image, kind, mrl, record)
+        # A zeroed record decodes as ID 0, lengths 0: an empty alignment.
+        assert outcome.completed
+
+    def test_unknown_kind_rejected(self, healthy_image):
+        image, mrl, record = healthy_image
+        from repro.verify import FaultKind
+
+        with pytest.raises(ValueError):
+            FaultCampaign().corrupt(image, FaultKind("nope", ""), record)
+
+    def test_backtrace_config_also_survives(self, healthy_image):
+        image, mrl, record = healthy_image
+        campaign = FaultCampaign(config=WfasicConfig.paper_default(backtrace=True))
+        for outcome in campaign.run_all(image, mrl, record):
+            assert not outcome.hung_or_crashed, outcome

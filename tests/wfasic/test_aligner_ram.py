@@ -1,0 +1,93 @@
+"""Tests for the RAM-accurate Aligner (the GLS analog of §5.1).
+
+Like the paper's gate-level simulations, these run "a less number of
+inputs" than the fast-model campaigns, but verify the full banked-RAM
+datapath: Fig. 6 addressing, frame-column rotation/tagging, the combined
+edge-bank read, and 2-bit sequence fetches through the Input_Seq words.
+"""
+
+import random
+
+import pytest
+
+from repro.align import swg_align
+from repro.wfasic import Aligner, WfasicConfig
+from repro.wfasic.aligner_ram import RamAccurateAligner
+
+from tests.util import random_pair
+from tests.wfasic.test_aligner import job_for
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_ps,k_max", [(4, 32), (8, 64), (16, 64)])
+    def test_matches_fast_model_and_oracle(self, n_ps, k_max):
+        rng = random.Random(n_ps * 1000 + k_max)
+        cfg = WfasicConfig(parallel_sections=n_ps, k_max=k_max, backtrace=False)
+        ram = RamAccurateAligner(cfg)
+        fast = Aligner(cfg)
+        for _ in range(12):
+            a, b = random_pair(rng, rng.randint(1, 48), 0.3)
+            job = job_for(a, b)
+            r_ram = ram.run(job)
+            r_fast = fast.run(job)
+            assert r_ram.success == r_fast.success
+            if r_ram.success:
+                assert r_ram.score == r_fast.score == swg_align(a, b).score
+
+    def test_identical_pair(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=32, backtrace=False)
+        r = RamAccurateAligner(cfg).run(job_for("ACGT" * 8, "ACGT" * 8))
+        assert r.success and r.score == 0
+
+    def test_score_limit_failure(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=8, backtrace=False)
+        r = RamAccurateAligner(cfg).run(job_for("A" * 30, "T" * 30))
+        assert not r.success
+
+    def test_unsupported_job(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=32, backtrace=False)
+        r = RamAccurateAligner(cfg).run(job_for("ACGN", "ACGT", max_read_len=16))
+        assert not r.success
+
+    def test_kmax_diagonal_failure(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=4, backtrace=False)
+        r = RamAccurateAligner(cfg).run(job_for("AA", "A" * 30))
+        assert not r.success
+
+    def test_back_to_back_pairs_no_stale_state(self):
+        # Reusing the same RAM objects across pairs must not leak data.
+        rng = random.Random(9)
+        cfg = WfasicConfig(parallel_sections=8, k_max=48, backtrace=False)
+        ram = RamAccurateAligner(cfg)
+        for _ in range(8):
+            a, b = random_pair(rng, rng.randint(4, 40), 0.25)
+            r = ram.run(job_for(a, b))
+            assert r.success and r.score == swg_align(a, b).score
+
+
+class TestConstraints:
+    def test_backtrace_config_rejected(self):
+        with pytest.raises(ValueError):
+            RamAccurateAligner(WfasicConfig(parallel_sections=16, backtrace=True))
+
+    def test_probe_hook_sees_steps(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=32, backtrace=False)
+        steps = []
+        RamAccurateAligner(cfg).run(
+            job_for("ACGTACGTAC", "ACGTTCGTAC"),
+            probe=lambda s, band, col: steps.append(s),
+        )
+        # One mismatch: s = 2 is off the reachable-score lattice, so the
+        # only wavefront step is the terminating one at s = 4.
+        assert steps == [4]
+
+    def test_probe_columns_hold_valid_offsets(self):
+        cfg = WfasicConfig(parallel_sections=8, k_max=32, backtrace=False)
+        a, b = "ACGTACGTACGTAAAA", "ACGTACGTACGTTTTA"
+
+        def probe(s, band, col):
+            for k in range(band.lo, band.hi + 1):
+                value = col[cfg.k_max - k]
+                assert value < 0 or 0 <= value <= len(b)
+
+        RamAccurateAligner(cfg).run(job_for(a, b), probe=probe)

@@ -1,0 +1,70 @@
+"""Tests for the ASIC physical model (§4.6 / §5.2)."""
+
+from repro.wfasic import WfasicConfig, asic_report
+from repro.wfasic.asic_model import (
+    GF22_FREQUENCY_HZ,
+    GF22_POWER_W,
+    SARGANTANA_AREA_MM2,
+    macro_inventory,
+)
+
+
+class TestPaperConfiguration:
+    def test_260_macros(self):
+        # §5.2: "There are 260 memory macros" — derived, not hard-coded:
+        # 128 Input_Seq + 66 M banks + 64 merged I/D banks + 2 FIFOs.
+        inv = macro_inventory(WfasicConfig.paper_default())
+        assert inv.input_seq_macros == 128
+        assert inv.m_wavefront_macros == 66
+        assert inv.id_wavefront_macros == 64
+        assert inv.fifo_macros == 2
+        assert inv.total_macros == 260
+
+    def test_half_megabyte_of_memory(self):
+        # §5.2: "uses 0.48MB of memory".
+        rep = asic_report(WfasicConfig.paper_default())
+        assert 0.45 <= rep.memory_mb <= 0.49
+
+    def test_area_1_6_mm2(self):
+        rep = asic_report(WfasicConfig.paper_default())
+        assert abs(rep.total_area_mm2 - 1.6) < 0.05
+
+    def test_power_312_mw(self):
+        rep = asic_report(WfasicConfig.paper_default())
+        assert abs(rep.power_w - GF22_POWER_W) < 1e-9
+
+    def test_soc_fits_3_mm2(self):
+        # §1: accelerator + Sargantana "fits in a chip of ~3mm^2".
+        rep = asic_report(WfasicConfig.paper_default())
+        assert rep.soc_area_mm2 < 3.1
+        assert rep.soc_area_mm2 > rep.total_area_mm2
+        assert SARGANTANA_AREA_MM2 == 1.37
+
+    def test_frequency(self):
+        assert asic_report(WfasicConfig.paper_default()).frequency_hz == GF22_FREQUENCY_HZ
+
+
+class TestScaling:
+    def test_two_small_aligners_cost_more_area(self):
+        # §5.4: "One Aligner with 32 parallel sections is only 1.5x
+        # smaller than one Aligner with 64 parallel sections.  So using
+        # two Aligners with 32 parallel sections requires more area".
+        one_64 = asic_report(WfasicConfig(num_aligners=1, parallel_sections=64))
+        one_32 = asic_report(WfasicConfig(num_aligners=1, parallel_sections=32))
+        two_32 = asic_report(WfasicConfig(num_aligners=2, parallel_sections=32))
+        ratio = one_64.total_area_mm2 / one_32.total_area_mm2
+        assert 1.2 < ratio < 1.9  # "only ~1.5x smaller"
+        assert two_32.total_area_mm2 > one_64.total_area_mm2
+
+    def test_memory_grows_with_aligners(self):
+        a1 = asic_report(WfasicConfig(num_aligners=1))
+        a2 = asic_report(WfasicConfig(num_aligners=2))
+        assert a2.inventory.total_macros > a1.inventory.total_macros
+        assert a2.power_w > a1.power_w
+
+    def test_kmax_drives_wavefront_memory(self):
+        small = asic_report(WfasicConfig(k_max=100))
+        big = asic_report(WfasicConfig(k_max=3998))
+        assert big.memory_mb > small.memory_mb
+        # Macro *count* is k_max-independent (only depth changes).
+        assert big.inventory.total_macros == small.inventory.total_macros

@@ -1,0 +1,77 @@
+"""Unit tests for the accelerator configuration and Eq. 5/6 limits."""
+
+import pytest
+
+from repro.align import AffinePenalties
+from repro.wfasic import WfasicConfig
+
+
+class TestPaperDefault:
+    def test_shipped_configuration(self):
+        cfg = WfasicConfig.paper_default()
+        assert cfg.num_aligners == 1
+        assert cfg.parallel_sections == 64
+        assert cfg.max_read_len == 10_000
+        assert cfg.penalties == AffinePenalties(4, 6, 2)
+
+    def test_eq6_score_limit(self):
+        # Eq. 6 with k_max = 3998: Score_max = 8000.
+        assert WfasicConfig.paper_default().max_score == 8000
+
+    def test_worst_case_differences(self):
+        # §4: "WFAsic can detect up to 1K differences" (all openings).
+        assert WfasicConfig.paper_default().max_differences_worst_case == 1000
+
+    def test_input_seq_ram_depth(self):
+        # §4.2: "the depth is at least 627 words".
+        assert WfasicConfig.paper_default().input_seq_ram_words == 627
+
+    def test_bt_block_bytes(self):
+        # §4.3.3: blocks of 320 bits = 40 bytes for 64 parallel sections.
+        assert WfasicConfig.paper_default().bt_block_bytes == 40
+        assert WfasicConfig(parallel_sections=32).bt_block_bytes == 20
+
+
+class TestEq5:
+    def test_paper_formula(self):
+        cfg = WfasicConfig.paper_default()
+        # 8000 >= num_x*4 + num_o*(6+2) + num_e*2 (Eq. 5; num_e here are
+        # the extension characters beyond each opening).
+        assert cfg.supports(num_x=2000, num_open=0, num_extend=0)
+        assert not cfg.supports(num_x=2001, num_open=0, num_extend=0)
+        assert cfg.supports(num_x=0, num_open=1000, num_extend=1000)
+        assert not cfg.supports(num_x=0, num_open=1001, num_extend=1001)
+
+    def test_mixed_profile(self):
+        cfg = WfasicConfig.paper_default()
+        # 500*4 + 500*8 + 1000*2 = 8000 exactly.
+        assert cfg.supports(num_x=500, num_open=500, num_extend=1500)
+        assert not cfg.supports(num_x=501, num_open=500, num_extend=1500)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_aligners": 0},
+            {"parallel_sections": 0},
+            {"max_read_len": 0},
+            {"max_read_len": 1000 + 1},  # not divisible by 16
+            {"k_max": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WfasicConfig(**kwargs)
+
+    def test_bt_requires_aligned_parallel_sections(self):
+        with pytest.raises(ValueError):
+            WfasicConfig(parallel_sections=24, backtrace=True)
+        # Fine without backtrace.
+        WfasicConfig(parallel_sections=24, backtrace=False)
+
+    def test_with_backtrace_toggle(self):
+        cfg = WfasicConfig.paper_default(backtrace=True)
+        off = cfg.with_backtrace(False)
+        assert off.backtrace is False
+        assert off.parallel_sections == cfg.parallel_sections

@@ -1,0 +1,81 @@
+"""Unit tests for the show-ahead FIFO (§4.6)."""
+
+import pytest
+
+from repro.wfasic import FifoError, ShowAheadFifo
+
+
+def word(tag: int) -> bytes:
+    return bytes([tag] * 16)
+
+
+class TestProtocol:
+    def test_fifo_order(self):
+        fifo = ShowAheadFifo(depth=4)
+        for t in range(3):
+            fifo.push(word(t))
+        assert [fifo.pop()[0] for _ in range(3)] == [0, 1, 2]
+
+    def test_show_ahead_peek(self):
+        fifo = ShowAheadFifo(depth=4)
+        fifo.push(word(7))
+        # Peek is non-destructive: the same word stays visible.
+        assert fifo.peek() == word(7)
+        assert fifo.peek() == word(7)
+        assert len(fifo) == 1
+        assert fifo.pop() == word(7)
+        assert fifo.empty
+
+    def test_overflow(self):
+        fifo = ShowAheadFifo(depth=2)
+        fifo.push(word(0))
+        fifo.push(word(1))
+        assert fifo.full
+        with pytest.raises(FifoError):
+            fifo.push(word(2))
+
+    def test_underflow(self):
+        fifo = ShowAheadFifo(depth=2)
+        with pytest.raises(FifoError):
+            fifo.peek()
+        with pytest.raises(FifoError):
+            fifo.pop()
+
+    def test_wrong_width(self):
+        fifo = ShowAheadFifo(depth=2)
+        with pytest.raises(FifoError):
+            fifo.push(b"\x00" * 15)
+
+    def test_paper_geometry_default(self):
+        fifo = ShowAheadFifo()
+        assert fifo.depth == 256
+        assert fifo.width == 16
+
+
+class TestStatistics:
+    def test_peak_occupancy(self):
+        fifo = ShowAheadFifo(depth=8)
+        for t in range(5):
+            fifo.push(word(t))
+        fifo.pop()
+        fifo.pop()
+        fifo.push(word(9))
+        assert fifo.peak_occupancy == 5
+        assert fifo.total_pushed == 6
+
+    def test_drain(self):
+        fifo = ShowAheadFifo(depth=8)
+        for t in range(4):
+            fifo.push(word(t))
+        fifo.pop()
+        words = fifo.drain()
+        assert [w[0] for w in words] == [1, 2, 3]
+        assert fifo.empty
+
+    def test_many_operations_amortised(self):
+        # Exercise the lazy compaction path.
+        fifo = ShowAheadFifo(depth=16)
+        for round_ in range(500):
+            fifo.push(word(round_ % 256))
+            assert fifo.pop() == word(round_ % 256)
+        assert fifo.empty

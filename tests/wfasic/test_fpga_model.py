@@ -1,0 +1,59 @@
+"""Tests for the FPGA prototype resource model (§4.6/§5.3)."""
+
+from repro.wfasic import WfasicConfig
+from repro.wfasic.fpga_model import (
+    FPGA_FREQUENCY_HZ,
+    FpgaDevice,
+    U280,
+    fpga_report,
+    max_aligners_on,
+)
+
+
+class TestDevice:
+    def test_u280_paper_figures(self):
+        assert U280.luts == 1_304_000
+        assert U280.ffs == 2_607_000
+        assert U280.dsps == 9_024
+        assert U280.bram36 == 2_016
+        assert U280.uram == 960
+
+    def test_prototype_clock(self):
+        assert FPGA_FREQUENCY_HZ == 50e6
+
+
+class TestFit:
+    def test_shipped_configuration_fits_easily(self):
+        rep = fpga_report(WfasicConfig.paper_default(backtrace=False))
+        assert rep.fits
+        assert rep.lut_utilisation < 0.15
+        assert rep.bram_utilisation < 0.25
+
+    def test_ten_aligners_fit(self):
+        # Fig. 10 sweeps 1..10 Aligners of 64 PS on the U280.
+        rep = fpga_report(
+            WfasicConfig(num_aligners=10, parallel_sections=64, backtrace=False)
+        )
+        assert rep.fits
+
+    def test_max_aligners_is_about_ten(self):
+        # The paper stops its sweep at 10; the model's fit limit agrees.
+        assert 8 <= max_aligners_on(U280) <= 14
+
+    def test_resources_scale_linearly_with_aligners(self):
+        one = fpga_report(WfasicConfig(num_aligners=1, backtrace=False))
+        two = fpga_report(WfasicConfig(num_aligners=2, backtrace=False))
+        assert two.luts > 1.8 * (one.luts - 14_000)
+        assert two.bram36 > one.bram36
+
+    def test_small_device_rejects(self):
+        tiny = FpgaDevice("tiny", luts=10_000, ffs=20_000, dsps=0, bram36=64, uram=0)
+        assert not fpga_report(
+            WfasicConfig.paper_default(backtrace=False), tiny
+        ).fits
+        assert max_aligners_on(tiny) == 0
+
+    def test_parallel_sections_drive_logic(self):
+        narrow = fpga_report(WfasicConfig(parallel_sections=16, backtrace=False))
+        wide = fpga_report(WfasicConfig(parallel_sections=128, backtrace=False))
+        assert wide.luts > 2 * narrow.luts

@@ -1,0 +1,72 @@
+"""Golden known-answer vectors — hardware-style regression pins.
+
+Byte formats are a *contract* between the Extractor, the Collectors and
+the CPU backtrace (§4.2/§4.4): any silent change breaks interoperability
+with data written by an earlier version.  These vectors pin the exact
+bytes, the way an RTL team pins bus-level test vectors.
+
+The dataset golden scores additionally pin the reproducibility of the
+named input sets: EXPERIMENTS.md numbers are only comparable across runs
+because the sets never drift.
+"""
+
+import numpy as np
+
+from repro.align import swg_align
+from repro.wfasic.packets import (
+    NbtRecord,
+    encode_pair_record,
+    pack_bt_final_block,
+    pack_nbt_record,
+    pack_origin_codes,
+)
+from repro.workloads import make_input_set
+
+
+class TestByteFormatGoldenVectors:
+    def test_pair_record(self):
+        rec = encode_pair_record(0x11223344, "ACGT", "TGCA", 16)
+        assert rec.hex() == (
+            "44332211000000000000000000000000"
+            "04000000000000000000000000000000"
+            "04000000000000000000000000000000"
+            "41434754414141414141414141414141"
+            "54474341414141414141414141414141"
+        )
+
+    def test_nbt_record(self):
+        packed = pack_nbt_record(
+            NbtRecord(alignment_id=0xBEEF, score=1234, success=True)
+        )
+        assert packed.hex() == "d284efbe"
+
+    def test_bt_final_block(self):
+        txn = pack_bt_final_block(
+            success=True, k_reached=-5, score=999, counter=7, alignment_id=42
+        )
+        assert txn.hex() == "01fbffe70300000000000700002a0080"
+
+    def test_origin_block(self):
+        codes = np.array([1, 9, 17, 25, 31], dtype=np.uint8)
+        block = pack_origin_codes(codes, 64)[0]
+        assert block.hex().startswith("21c5fc01")
+        assert len(block) == 40
+        assert block[5:] == bytes(35)
+
+
+class TestDatasetGoldenScores:
+    """First-pair SWG scores of the named input sets must never drift."""
+
+    GOLDEN = {
+        "100-5%": (46, "ATATTCCCAGGGTTAG", 100),
+        "100-10%": (48, "CTACGATGTCCGGAGT", 99),
+        "1K-5%": (332, "CAAAGTAGGTGTGCCT", 1000),
+        "1K-10%": (686, "ATAGGCGCGTAGCGCG", 984),
+    }
+
+    def test_scores_and_prefixes(self):
+        for name, (score, prefix, text_len) in self.GOLDEN.items():
+            pair = make_input_set(name, 1)[0]
+            assert pair.pattern.startswith(prefix), name
+            assert len(pair.text) == text_len, name
+            assert swg_align(pair.pattern, pair.text).score == score, name

@@ -1,0 +1,87 @@
+"""Tests for the fluid pipeline timing model."""
+
+import pytest
+
+from repro.wfasic import schedule_makespan
+from repro.wfasic.dma import DmaTimings
+from repro.wfasic.pipeline import FluidPipelineSim, PipelineJob
+
+
+def jobs(n, read=100, align=1000, out=0):
+    return [PipelineJob(read, align, out) for _ in range(n)]
+
+
+class TestReducesToAnalyticSchedule:
+    @pytest.mark.parametrize("aligners", [1, 2, 4])
+    def test_no_output_matches_schedule(self, aligners):
+        batch = jobs(12, read=75, align=900)
+        sim = FluidPipelineSim(aligners)
+        result = sim.run(batch)
+        expected = schedule_makespan(75, [900] * 12, aligners)
+        assert result.makespan == pytest.approx(expected)
+        assert result.throttle_cycles == pytest.approx(0.0, abs=1e-6)
+        assert not result.output_limited
+
+    def test_empty_batch(self):
+        result = FluidPipelineSim(2).run([])
+        assert result.makespan == 0.0
+
+    def test_single_job(self):
+        result = FluidPipelineSim(1).run([PipelineJob(50, 500)])
+        assert result.makespan == pytest.approx(550)
+        assert result.completion_times == [pytest.approx(550)]
+
+
+class TestOutputContention:
+    def test_light_output_no_throttle(self):
+        # Demand far below the 4/11 txn/cycle port rate.
+        batch = jobs(4, read=75, align=1000, out=10)
+        result = FluidPipelineSim(1).run(batch)
+        assert not result.output_limited
+
+    def test_heavy_output_throttles(self):
+        # Demand 0.5 txns/cycle > 4/11: the Aligner stalls on the port.
+        batch = jobs(2, read=75, align=1000, out=500)
+        result = FluidPipelineSim(1).run(batch)
+        assert result.output_limited
+        rate = DmaTimings().burst_beats / DmaTimings().cycles_per_burst
+        # Each alignment stretches to out/rate cycles.
+        stretched = 500 / rate
+        assert result.makespan == pytest.approx(75 + stretched + 75 + stretched, rel=0.02)
+
+    def test_multiple_aligners_share_port(self):
+        # Each job demands 0.25 txn/cycle; two overlapped demand 0.5,
+        # above the 4/11 port rate, so both throttle by 0.5/(4/11) = 1.375
+        # and the two-aligner speedup collapses from 2x to ~1.45x.
+        one = FluidPipelineSim(1).run(jobs(2, read=10, align=1000, out=250))
+        two = FluidPipelineSim(2).run(jobs(2, read=10, align=1000, out=250))
+        assert not one.output_limited  # 0.25 < 4/11 alone
+        assert two.output_limited
+        assert 1.3 < one.makespan / two.makespan < 1.6
+
+    def test_contention_grows_with_aligner_count(self):
+        heavy = jobs(8, read=10, align=1000, out=400)
+        m1 = FluidPipelineSim(1).run(heavy).makespan
+        m4 = FluidPipelineSim(4).run(heavy).makespan
+        # Scaling is sub-linear under output contention: nowhere near 4x.
+        assert m1 / m4 < 2.0
+
+    def test_no_bt_scaling_unaffected(self):
+        light = jobs(8, read=10, align=1000, out=0)
+        m1 = FluidPipelineSim(1).run(light).makespan
+        m4 = FluidPipelineSim(4).run(light).makespan
+        assert m1 / m4 > 3.0
+
+
+class TestValidation:
+    def test_bad_job(self):
+        with pytest.raises(ValueError):
+            PipelineJob(-1, 10)
+
+    def test_bad_aligner_count(self):
+        with pytest.raises(ValueError):
+            FluidPipelineSim(0)
+
+    def test_zero_cycle_alignment(self):
+        result = FluidPipelineSim(1).run([PipelineJob(10, 0, 0)])
+        assert result.makespan == pytest.approx(10)

@@ -1,0 +1,152 @@
+"""Tests for the Fig. 6 banked wavefront layout and Input_Seq RAMs."""
+
+import numpy as np
+import pytest
+
+from repro.align import NULL_OFFSET
+from repro.wfasic import WfasicConfig
+from repro.wfasic.rams import (
+    BankConflictError,
+    InputSeqRam,
+    WavefrontWindowRam,
+    wavefront_geometry,
+)
+from repro.wfasic.packets import pack_bases
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        geo = wavefront_geometry(WfasicConfig.paper_default())
+        # (4, 6, 2): M needs 4 history columns + frame = 5 (Fig. 6 shows
+        # exactly 5 columns); I/D need 1 history + frame = 2.
+        assert geo.m_columns == 5
+        assert geo.id_columns == 2
+        assert geo.m_banks == 64 + 2  # duplicated edge banks
+        assert geo.id_banks == 64
+        assert geo.rows == 2 * 3998 + 1
+        assert geo.rows_per_bank == -(-geo.rows // 64)
+
+    def test_words_per_bank(self):
+        geo = wavefront_geometry(WfasicConfig.paper_default())
+        assert geo.m_words_per_bank == 5 * geo.rows_per_bank
+        # Merged I/D macro holds both I and D column sets (§4.6).
+        assert geo.id_words_per_bank == 2 * 2 * geo.rows_per_bank
+
+
+class TestFig6Mapping:
+    """Reproduce the exact example of Fig. 6: 4 parallel sections."""
+
+    def make(self):
+        return WavefrontWindowRam(n_ps=4, rows=12, columns=5, duplicate_edges=True)
+
+    def test_bank_assignment_round_robin(self):
+        ram = self.make()
+        assert [ram.bank_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_address_layout(self):
+        ram = self.make()
+        # Column c occupies addresses c*3 .. c*3+2 in each bank (12 rows
+        # over 4 banks = 3 words per column per bank).
+        assert ram.address_of(0, 0) == 0
+        assert ram.address_of(4, 0) == 1
+        assert ram.address_of(0, 1) == 3
+        assert ram.address_of(11, 4) == 4 * 3 + 2
+
+    def test_group_write_conflict_free(self):
+        ram = self.make()
+        ram.write_group(0, 4, np.arange(4, dtype=np.int64))
+        assert list(ram.column(0)[4:8]) == [0, 1, 2, 3]
+
+    def test_unaligned_group_write_rejected(self):
+        ram = self.make()
+        with pytest.raises(BankConflictError):
+            ram.write_group(0, 3, np.arange(4, dtype=np.int64))
+
+    def test_paper_parallel_read_example(self):
+        # §4.3.1: "for calculating the orange-colored cells of the frame
+        # column (cells (4:7,4)) in parallel, we require parallel readings
+        # from cells (3:8,0)" — 6 rows, needing the duplicated edge banks.
+        ram = self.make()
+        rows = [3, 4, 5, 6, 7, 8]
+        ram.read_rows(0, rows)  # must not raise
+
+    def test_same_read_fails_without_duplicates(self):
+        ram = WavefrontWindowRam(n_ps=4, rows=12, columns=5, duplicate_edges=False)
+        with pytest.raises(BankConflictError):
+            ram.read_rows(0, [3, 4, 5, 6, 7, 8])
+
+    def test_aligned_window_reads_ok_without_duplicates(self):
+        # I/D windows only need n_ps shifted cells: always conflict-free.
+        ram = WavefrontWindowRam(n_ps=4, rows=12, columns=2, duplicate_edges=False)
+        ram.read_rows(0, [3, 4, 5, 6])  # k-1 window
+        ram.read_rows(0, [5, 6, 7, 8])  # k+1 window
+
+    def test_three_reads_of_one_bank_fail_even_with_duplicates(self):
+        ram = self.make()
+        with pytest.raises(BankConflictError):
+            ram.read_rows(0, [0, 4, 8])  # bank 0 three times
+
+    def test_columns_initialised_invalid(self):
+        ram = self.make()
+        assert (ram.column(2) == NULL_OFFSET).all()
+
+    def test_clear_column(self):
+        ram = self.make()
+        ram.write_group(1, 0, np.arange(4, dtype=np.int64))
+        ram.clear_column(1)
+        assert (ram.column(1) == NULL_OFFSET).all()
+
+    def test_row_bounds(self):
+        ram = self.make()
+        with pytest.raises(IndexError):
+            ram.bank_of(12)
+        with pytest.raises(IndexError):
+            ram.address_of(0, 5)
+
+
+class TestFullScaleMapping:
+    def test_64ps_group_access_patterns(self):
+        """The shipped geometry supports the compute access schedule."""
+        cfg = WfasicConfig.paper_default()
+        geo = wavefront_geometry(cfg)
+        ram = WavefrontWindowRam(
+            n_ps=64, rows=geo.rows, columns=geo.m_columns, duplicate_edges=True
+        )
+        # For a group at rows r0..r0+63: the s-o-e column read needs rows
+        # r0-1..r0+64 (k-1 and k+1 windows together).
+        for r0 in (64, 1280, 64 * ((geo.rows // 64) - 1)):
+            rows = list(range(r0 - 1, min(r0 + 65, geo.rows)))
+            ram.read_rows(0, rows)
+            ram.write_group(1, r0, np.arange(64, dtype=np.int64))
+
+
+class TestInputSeqRam:
+    def test_paper_depth(self):
+        ram = InputSeqRam(10_000)
+        assert ram.depth == 627
+
+    def test_load_and_header(self):
+        ram = InputSeqRam(48)
+        packed = pack_bases(np.frombuffer(b"ACGT" * 8, dtype=np.uint8))
+        ram.load(alignment_id=9, length=32, packed=packed)
+        assert ram.alignment_id == 9
+        assert ram.length == 32
+        assert ram.read_word(0) == 9
+        assert ram.read_word(1) == 32
+        assert ram.read_word(2) == packed[0]
+
+    def test_overflow_rejected(self):
+        ram = InputSeqRam(16)
+        with pytest.raises(ValueError):
+            ram.load(1, 32, np.zeros(2, dtype=np.uint32))
+
+    def test_address_bounds(self):
+        ram = InputSeqRam(16)
+        with pytest.raises(IndexError):
+            ram.read_word(3)
+
+    def test_stale_data_cleared(self):
+        ram = InputSeqRam(32)
+        ram.load(1, 32, np.array([7, 7], dtype=np.uint32))
+        ram.load(2, 16, np.array([5], dtype=np.uint32))
+        assert ram.base_words().tolist() == [5, 0]

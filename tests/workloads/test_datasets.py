@@ -1,0 +1,59 @@
+"""Unit tests for the named paper input sets."""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_INPUT_SETS,
+    input_set_names,
+    make_input_set,
+)
+
+
+class TestRegistry:
+    def test_six_sets_in_paper_order(self):
+        assert input_set_names() == [
+            "100-5%",
+            "100-10%",
+            "1K-5%",
+            "1K-10%",
+            "10K-5%",
+            "10K-10%",
+        ]
+
+    def test_spec_parameters(self):
+        by_name = {s.name: s for s in PAPER_INPUT_SETS}
+        assert by_name["100-5%"].length == 100
+        assert by_name["100-5%"].error_rate == 0.05
+        assert by_name["10K-10%"].length == 10_000
+        assert by_name["10K-10%"].error_rate == 0.10
+
+    def test_seeds_distinct(self):
+        seeds = [s.seed for s in PAPER_INPUT_SETS]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestMakeInputSet:
+    def test_reproducible(self):
+        a = make_input_set("100-5%", 4)
+        b = make_input_set("100-5%", 4)
+        assert [(p.pattern, p.text) for p in a] == [(p.pattern, p.text) for p in b]
+
+    def test_seed_offset_changes_data(self):
+        a = make_input_set("100-5%", 2)
+        b = make_input_set("100-5%", 2, seed_offset=1)
+        assert a[0].pattern != b[0].pattern
+
+    def test_lengths(self):
+        pairs = make_input_set("1K-10%", 3)
+        assert all(len(p.pattern) == 1000 for p in pairs)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_input_set("2K-5%", 1)
+
+    def test_prefix_is_consistent(self):
+        # The first pairs of a longer batch equal a shorter batch.
+        short = make_input_set("100-10%", 2)
+        longer = make_input_set("100-10%", 5)
+        assert short[0].pattern == longer[0].pattern
+        assert short[1].text == longer[1].text

@@ -1,0 +1,136 @@
+"""Unit and property tests for the synthetic pair generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.align import swg_align
+from repro.workloads import ErrorMix, PairGenerator, SequencePair
+
+
+class TestSequencePair:
+    def test_rejects_non_dna(self):
+        with pytest.raises(ValueError):
+            SequencePair(pattern="ACGZ", text="ACGT")
+        with pytest.raises(ValueError):
+            SequencePair(pattern="ACGT", text="acgt")
+
+    def test_allows_n(self):
+        # 'N' bases are legal in inputs (the Extractor rejects them later).
+        SequencePair(pattern="ACGN", text="ACGT")
+
+    def test_max_length(self):
+        assert SequencePair(pattern="ACG", text="ACGTA").max_length == 5
+
+
+class TestErrorMix:
+    def test_probabilities_normalise(self):
+        assert ErrorMix(1, 1, 2).probabilities() == (0.25, 0.25, 0.5)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            ErrorMix(0, 0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ErrorMix(-1, 1, 1)
+
+
+class TestPairGenerator:
+    def test_deterministic(self):
+        p1 = PairGenerator(length=200, error_rate=0.1, seed=5).batch(5)
+        p2 = PairGenerator(length=200, error_rate=0.1, seed=5).batch(5)
+        assert [(p.pattern, p.text) for p in p1] == [(p.pattern, p.text) for p in p2]
+
+    def test_different_seeds_differ(self):
+        a = PairGenerator(length=200, error_rate=0.1, seed=1).pair()
+        b = PairGenerator(length=200, error_rate=0.1, seed=2).pair()
+        assert a.pattern != b.pattern
+
+    def test_pair_ids_increment(self):
+        gen = PairGenerator(length=50, error_rate=0.1, seed=0)
+        assert [p.pair_id for p in gen.batch(4)] == [0, 1, 2, 3]
+
+    def test_zero_error_rate_identical(self):
+        gen = PairGenerator(length=300, error_rate=0.0, seed=3)
+        pair = gen.pair()
+        assert pair.pattern == pair.text
+        assert pair.errors_injected == 0
+
+    def test_pattern_length_nominal(self):
+        gen = PairGenerator(length=123, error_rate=0.1, seed=4)
+        assert len(gen.pair().pattern) == 123
+
+    def test_error_rate_statistics(self):
+        # With 20k bases at 10%, injected errors are ~N(2000, sqrt).
+        gen = PairGenerator(length=20_000, error_rate=0.10, seed=6)
+        pair = gen.pair()
+        assert 1700 <= pair.errors_injected <= 2300
+
+    def test_error_rate_reflected_in_alignment_score(self):
+        # The SWG optimum per base must track the nominal error rate.
+        gen5 = PairGenerator(length=800, error_rate=0.05, seed=7)
+        gen10 = PairGenerator(length=800, error_rate=0.10, seed=7)
+        s5 = swg_align(*_pt(gen5.pair())).score
+        s10 = swg_align(*_pt(gen10.pair())).score
+        assert 0 < s5 < s10
+
+    def test_mismatch_only_mix_keeps_length(self):
+        gen = PairGenerator(
+            length=500, error_rate=0.2, mix=ErrorMix(1, 0, 0), seed=8
+        )
+        pair = gen.pair()
+        assert len(pair.text) == len(pair.pattern)
+
+    def test_insertion_only_mix_grows(self):
+        gen = PairGenerator(
+            length=500, error_rate=0.2, mix=ErrorMix(0, 1, 0), seed=9
+        )
+        pair = gen.pair()
+        assert len(pair.text) == 500 + pair.errors_injected
+
+    def test_deletion_only_mix_shrinks(self):
+        gen = PairGenerator(
+            length=500, error_rate=0.2, mix=ErrorMix(0, 0, 1), seed=10
+        )
+        pair = gen.pair()
+        assert len(pair.text) == 500 - pair.errors_injected
+
+    def test_base_composition_roughly_uniform(self):
+        gen = PairGenerator(length=40_000, error_rate=0.0, seed=11)
+        pat = gen.pair().pattern
+        counts = np.array([pat.count(c) for c in "ACGT"])
+        assert (np.abs(counts - 10_000) < 600).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PairGenerator(length=-1, error_rate=0.1)
+        with pytest.raises(ValueError):
+            PairGenerator(length=10, error_rate=1.5)
+        with pytest.raises(ValueError):
+            PairGenerator(length=10, error_rate=0.1).batch(-1)
+
+    def test_zero_length(self):
+        pair = PairGenerator(length=0, error_rate=0.5, seed=0).pair()
+        assert pair.pattern == "" and pair.text == ""
+
+
+@given(
+    length=st.integers(min_value=0, max_value=300),
+    rate=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_alignment_score_bounded_by_errors(length, rate, seed):
+    """Each injected error costs at most max(x, o+e) + slack: the SWG score
+    of a generated pair can never exceed worst-case per-error cost."""
+    gen = PairGenerator(length=length, error_rate=rate, seed=seed)
+    pair = gen.pair()
+    score = swg_align(pair.pattern, pair.text).score
+    # Worst case: every error is an isolated gap (o + e each).
+    assert score <= pair.errors_injected * 8
+
+
+def _pt(pair: SequencePair) -> tuple[str, str]:
+    return pair.pattern, pair.text

@@ -1,0 +1,139 @@
+"""Tests for the synthetic genome / read-sampling substrate."""
+
+import pytest
+
+from repro.align import swg_align
+from repro.workloads import ReadSampler, synthetic_genome, tiling_reads
+
+
+class TestSyntheticGenome:
+    def test_length_and_alphabet(self):
+        g = synthetic_genome(5000, seed=1)
+        assert len(g) == 5000
+        assert set(g) <= set("ACGT")
+
+    def test_deterministic(self):
+        assert synthetic_genome(1000, seed=2) == synthetic_genome(1000, seed=2)
+        assert synthetic_genome(1000, seed=2) != synthetic_genome(1000, seed=3)
+
+    def test_repeats_create_duplicate_segments(self):
+        g = synthetic_genome(20_000, seed=4, repeat_fraction=0.3)
+        unit = g[: max(50, len(g) // 100)]
+        # The unit is planted at least twice somewhere else.
+        assert g.count(unit) >= 2
+
+    def test_zero_length(self):
+        assert synthetic_genome(0) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_genome(-1)
+        with pytest.raises(ValueError):
+            synthetic_genome(100, repeat_fraction=1.0)
+
+
+class TestReadSampler:
+    def test_reads_match_origin(self):
+        g = synthetic_genome(10_000, seed=5)
+        sampler = ReadSampler(g, read_length=300, error_rate=0.05, seed=6)
+        for read in sampler.sample_many(5):
+            origin = g[read.true_position : read.true_position + 300]
+            score = swg_align(read.sequence, origin).score
+            # ~15 errors at <=8 penalty each.
+            assert score <= read.errors_injected * 8
+
+    def test_zero_error_reads_exact(self):
+        g = synthetic_genome(2_000, seed=7)
+        sampler = ReadSampler(g, read_length=100, error_rate=0.0, seed=8)
+        read = sampler.sample()
+        assert read.sequence == g[read.true_position : read.true_position + 100]
+        assert read.errors_injected == 0
+
+    def test_read_ids_increment(self):
+        g = synthetic_genome(1_000, seed=9)
+        sampler = ReadSampler(g, read_length=50, error_rate=0.1, seed=10)
+        assert [r.read_id for r in sampler.sample_many(3)] == [0, 1, 2]
+
+    def test_positions_in_range(self):
+        g = synthetic_genome(500, seed=11)
+        sampler = ReadSampler(g, read_length=400, error_rate=0.1, seed=12)
+        for read in sampler.sample_many(20):
+            assert 0 <= read.true_position <= 100
+
+    def test_validation(self):
+        g = synthetic_genome(100, seed=13)
+        with pytest.raises(ValueError):
+            ReadSampler(g, read_length=0, error_rate=0.1)
+        with pytest.raises(ValueError):
+            ReadSampler(g, read_length=101, error_rate=0.1)
+        with pytest.raises(ValueError):
+            ReadSampler(g, read_length=50, error_rate=0.1).sample_many(-1)
+
+
+class TestTilingReads:
+    def test_known_overlap_structure(self):
+        g = synthetic_genome(10_000, seed=14)
+        reads = tiling_reads(g, read_length=2_000, stride=1_500, error_rate=0.0)
+        assert len(reads) == (10_000 - 2_000) // 1_500 + 1
+        # Adjacent reads overlap by read_length - stride exactly.
+        r0, r1 = reads[0], reads[1]
+        assert r0.sequence[1_500:] == r1.sequence[:500]
+
+    def test_positions_are_strided(self):
+        g = synthetic_genome(5_000, seed=15)
+        reads = tiling_reads(g, read_length=1_000, stride=800, error_rate=0.05)
+        assert [r.true_position for r in reads] == list(range(0, 4_001, 800))
+
+    def test_stride_validated(self):
+        g = synthetic_genome(1_000, seed=16)
+        with pytest.raises(ValueError):
+            tiling_reads(g, read_length=100, stride=0, error_rate=0.1)
+
+
+class TestIndelRuns:
+    def test_runs_respect_max(self):
+        from repro.workloads import ErrorMix, PairGenerator
+
+        gen = PairGenerator(
+            length=2_000,
+            error_rate=0.05,
+            mix=ErrorMix(0, 1, 0),  # insertions only
+            max_indel_run=4,
+            seed=17,
+        )
+        pair = gen.pair()
+        # Text grows by exactly the injected error characters.
+        assert len(pair.text) == 2_000 + pair.errors_injected
+
+    def test_deletion_runs_shrink_by_error_count(self):
+        from repro.workloads import ErrorMix, PairGenerator
+
+        gen = PairGenerator(
+            length=2_000,
+            error_rate=0.05,
+            mix=ErrorMix(0, 0, 1),
+            max_indel_run=4,
+            seed=18,
+        )
+        pair = gen.pair()
+        assert len(pair.text) == 2_000 - pair.errors_injected
+
+    def test_runs_lower_score_per_error(self):
+        """Clustered indels amortise the gap-open penalty."""
+        from repro.align import swg_align
+        from repro.workloads import PairGenerator
+
+        single = PairGenerator(length=3_000, error_rate=0.08, seed=19)
+        runs = PairGenerator(
+            length=3_000, error_rate=0.08, max_indel_run=4, seed=19
+        )
+        p1, p2 = single.pair(), runs.pair()
+        s1 = swg_align(p1.pattern, p1.text).score / max(p1.errors_injected, 1)
+        s2 = swg_align(p2.pattern, p2.text).score / max(p2.errors_injected, 1)
+        assert s2 < s1
+
+    def test_validation(self):
+        from repro.workloads import PairGenerator
+
+        with pytest.raises(ValueError):
+            PairGenerator(length=10, error_rate=0.1, max_indel_run=0)

@@ -1,0 +1,61 @@
+"""Unit tests for .seq file I/O."""
+
+import pytest
+
+from repro.workloads import (
+    PairGenerator,
+    SequencePair,
+    iter_seq_lines,
+    read_seq_file,
+    write_seq_file,
+)
+
+
+class TestIterSeqLines:
+    def test_basic(self):
+        pairs = list(iter_seq_lines([">ACGT", "<ACGG"]))
+        assert pairs == [("ACGT", "ACGG")]
+
+    def test_multiple_and_blank_lines(self):
+        lines = [">AA", "<AT", "", ">CC", "<CG", "   "]
+        assert list(iter_seq_lines(lines)) == [("AA", "AT"), ("CC", "CG")]
+
+    def test_text_before_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_seq_lines(["<ACGT"]))
+
+    def test_double_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_seq_lines([">AA", ">CC"]))
+
+    def test_trailing_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_seq_lines([">AA"]))
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_seq_lines(["ACGT"]))
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        pairs = PairGenerator(length=80, error_rate=0.1, seed=1).batch(6)
+        path = tmp_path / "inputs.seq"
+        assert write_seq_file(path, pairs) == 6
+        back = read_seq_file(path)
+        assert [(p.pattern, p.text) for p in back] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+        assert [p.pair_id for p in back] == list(range(6))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.seq"
+        write_seq_file(path, [])
+        assert read_seq_file(path) == []
+
+    def test_empty_sequences(self, tmp_path):
+        # Legal but degenerate: zero-length reads survive the round trip.
+        path = tmp_path / "zero.seq"
+        write_seq_file(path, [SequencePair(pattern="", text="")])
+        back = read_seq_file(path)
+        assert back[0].pattern == "" and back[0].text == ""

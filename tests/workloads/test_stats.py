@@ -1,0 +1,38 @@
+"""Tests for input-set statistics."""
+
+import pytest
+
+from repro.workloads import PairGenerator, make_input_set
+from repro.workloads.stats import summarise_pairs
+
+
+class TestSummarisePairs:
+    def test_nominal_parameters_recovered(self):
+        stats = summarise_pairs(make_input_set("100-10%", 10))
+        assert 90 <= stats.mean_pattern_length <= 100
+        # Realised error rate tracks the nominal 10% loosely (optimal
+        # alignments can explain errors with fewer operations).
+        assert 0.05 <= stats.mean_error_rate <= 0.13
+
+    def test_zero_error_set(self):
+        pairs = PairGenerator(length=100, error_rate=0.0, seed=1).batch(4)
+        stats = summarise_pairs(pairs)
+        assert stats.mean_score == 0
+        assert stats.mean_error_rate == 0
+        assert stats.mean_profile.num_mismatches == 0
+
+    def test_higher_rate_higher_score(self):
+        low = summarise_pairs(make_input_set("100-5%", 8))
+        high = summarise_pairs(make_input_set("100-10%", 8))
+        assert high.mean_score > low.mean_score
+        assert high.mean_error_rate > low.mean_error_rate
+
+    def test_describe_format(self):
+        stats = summarise_pairs(make_input_set("100-5%", 3))
+        text = stats.describe()
+        assert "3 pairs" in text
+        assert "score" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise_pairs([])
