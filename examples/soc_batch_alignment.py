@@ -11,7 +11,7 @@ result stream.
 Run:  python examples/soc_batch_alignment.py
 """
 
-from repro.align import swg_align
+from repro.engine import align_pairs
 from repro.metrics import speedup
 from repro.soc import Soc
 from repro.wfasic import WfasicConfig
@@ -33,10 +33,19 @@ def main() -> None:
 
     out = soc.run_accelerated(pairs)
 
+    # Reference scores from the SWG oracle, via the batch engine: the
+    # whole batch is sharded across two worker processes in one call.
+    oracle = align_pairs(pairs, backend="swg", workers=2, chunk_size=2)
+    refs = {p.pair_id: s for p, s in zip(pairs, oracle.scores)}
+    print("=== oracle cross-check (batch engine, swg backend) ===")
+    print(f"  {oracle.report.pairs_per_second:.1f} pairs/s over "
+          f"{oracle.report.workers} workers, "
+          f"utilisation {oracle.report.worker_utilisation:.0%}\n")
+
     print("=== per-pair results (accelerator + CPU backtrace) ===")
     for p in pairs:
         cigar = out.cigars[p.pair_id]
-        ref = swg_align(p.pattern, p.text).score
+        ref = refs[p.pair_id]
         status = "OK " if out.scores[p.pair_id] == ref else "BAD"
         print(f"  pair {p.pair_id}: score={out.scores[p.pair_id]:4d} "
               f"(oracle {ref:4d}) [{status}]  "

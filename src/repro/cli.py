@@ -1,11 +1,14 @@
 """Command-line interface to the WFAsic reproduction.
 
-Five subcommands cover the common flows:
+Six subcommands cover the common flows:
 
 * ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
   or custom length/error parameters);
 * ``align`` — run a ``.seq`` file through the accelerated SoC flow or a
   CPU baseline, printing scores/CIGARs and the cycle accounting;
+* ``batch`` — the parallel batch alignment engine: shard a ``.seq`` file
+  (or a generated workload) across worker processes with result caching,
+  emitting JSON/TSV results plus throughput counters;
 * ``report`` — the ASIC (§5.2) or FPGA (§5.3) physical summary of a
   configuration;
 * ``stats`` — summarise a ``.seq`` file (realised error profile) and
@@ -19,10 +22,12 @@ Installed as ``repro-wfasic`` (see ``pyproject.toml``); also runnable as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from .align import DEFAULT_PENALTIES
+from .align import DEFAULT_PENALTIES, AffinePenalties
+from .engine import BatchAlignmentEngine, EngineConfig, backend_names
 from .reporting import format_table
 from .soc import Soc
 from .verify import EquivalenceChecker
@@ -68,6 +73,37 @@ def build_parser() -> argparse.ArgumentParser:
     aln.add_argument("--aligners", type=int, default=1)
     aln.add_argument("--parallel-sections", type=int, default=64)
     aln.add_argument("--quiet", action="store_true", help="summary only")
+
+    bat = sub.add_parser("batch", help="parallel batch alignment engine")
+    bat.add_argument(
+        "input", nargs="?", help="input .seq path (omit with --generate)"
+    )
+    bat.add_argument(
+        "--generate",
+        type=int,
+        metavar="LENGTH",
+        help="generate a synthetic workload of this read length instead",
+    )
+    bat.add_argument("-n", "--num-pairs", type=int, default=200)
+    bat.add_argument("--error-rate", type=float, default=0.05)
+    bat.add_argument("--seed", type=int, default=0)
+    bat.add_argument(
+        "--backend", choices=backend_names(), default="vectorized"
+    )
+    bat.add_argument("-j", "--workers", type=int, default=1)
+    bat.add_argument("--chunk-size", type=int, default=16)
+    bat.add_argument("--cache-size", type=int, default=4096)
+    bat.add_argument("--backtrace", action="store_true", help="recover CIGARs")
+    bat.add_argument(
+        "--penalties",
+        metavar="X,O,E",
+        default=None,
+        help="gap-affine penalties as mismatch,gap_open,gap_extend",
+    )
+    bat.add_argument("--format", choices=("tsv", "json"), default="tsv")
+    bat.add_argument(
+        "-o", "--output", help="write results to this file (default stdout)"
+    )
 
     rep = sub.add_parser("report", help="physical summary of a configuration")
     rep.add_argument("--what", choices=("asic", "fpga"), default="asic")
@@ -141,6 +177,85 @@ def _cmd_align(args: argparse.Namespace) -> int:
             for p in pairs:
                 print(f"pair {p.pair_id}: score={out.scores[p.pair_id]}")
         print(f"{len(pairs)} pairs, {out.cycles} CPU cycles ({args.engine})")
+    return 0
+
+
+def _parse_penalties(spec: str | None) -> AffinePenalties:
+    if spec is None:
+        return DEFAULT_PENALTIES
+    try:
+        x, o, e = (int(part) for part in spec.split(","))
+        return AffinePenalties(mismatch=x, gap_open=o, gap_extend=e)
+    except ValueError as exc:
+        raise SystemExit(f"invalid --penalties {spec!r}: {exc}")
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if (args.input is None) == (args.generate is None):
+        print(
+            "batch needs an input .seq file or --generate (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.input is not None:
+        pairs = read_seq_file(args.input)
+    else:
+        gen = PairGenerator(
+            length=args.generate,
+            error_rate=args.error_rate,
+            seed=args.seed,
+            max_text_length=args.generate,
+        )
+        pairs = gen.batch(args.num_pairs)
+    if not pairs:
+        print("input file holds no pairs", file=sys.stderr)
+        return 1
+
+    try:
+        config = EngineConfig(
+            backend=args.backend,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            penalties=_parse_penalties(args.penalties),
+            backtrace=args.backtrace,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(f"invalid engine configuration: {exc}", file=sys.stderr)
+        return 2
+    with BatchAlignmentEngine(config) as engine:
+        result = engine.align_batch(pairs)
+
+    rows = [
+        {
+            "pair_id": pair.pair_id,
+            "score": outcome.score,
+            "success": outcome.success,
+            "cigar": outcome.cigar,
+        }
+        for pair, outcome in zip(pairs, result.outcomes)
+    ]
+    if args.format == "json":
+        doc = json.dumps(
+            {"summary": result.report.as_dict(), "results": rows}, indent=2
+        )
+    else:
+        lines = ["pair_id\tscore\tsuccess\tcigar"]
+        lines += [
+            f"{r['pair_id']}\t{r['score']}\t{int(r['success'])}\t"
+            f"{r['cigar'] or '.'}"
+            for r in rows
+        ]
+        doc = "\n".join(lines)
+
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(doc + "\n")
+    else:
+        print(doc)
+    # The human-readable counters always go to stdout so the engine's
+    # throughput is visible whatever the results format.
+    print(result.report.describe())
     return 0
 
 
@@ -221,6 +336,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "align": _cmd_align,
+        "batch": _cmd_batch,
         "report": _cmd_report,
         "stats": _cmd_stats,
         "verify": _cmd_verify,

@@ -1,0 +1,48 @@
+"""Parallel batch alignment engine: the software serving layer.
+
+Where the paper scales by instantiating hardware aligner sections, this
+package scales at the system level: a batch of sequence pairs is
+resolved against an LRU result cache, duplicates are coalesced, and the
+remainder is sharded in chunks across a ``multiprocessing`` worker pool
+running any registered backend (software WFA, the SWG oracle, or the
+cycle-accurate ``wfasic`` simulator).
+
+Entry points:
+
+* :class:`BatchAlignmentEngine` / :func:`align_pairs` — the engine.
+* :func:`register_backend` — plug in a new backend.
+* ``repro.cli`` ``batch`` subcommand — the same engine from the shell.
+"""
+
+from .backends import (
+    AlignmentBackend,
+    PairOutcome,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .cache import AlignmentCache, CacheStats
+from .engine import (
+    BatchAlignmentEngine,
+    BatchReport,
+    EngineConfig,
+    EngineResult,
+    WorkerStats,
+    align_pairs,
+)
+
+__all__ = [
+    "AlignmentBackend",
+    "AlignmentCache",
+    "BatchAlignmentEngine",
+    "BatchReport",
+    "CacheStats",
+    "EngineConfig",
+    "EngineResult",
+    "PairOutcome",
+    "WorkerStats",
+    "align_pairs",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,222 @@
+"""Pluggable alignment backends for the batch engine.
+
+A *backend* turns a chunk of ``(slot, pattern, text)`` items into
+:class:`PairOutcome` records.  Backends are addressed **by name** so that
+only plain strings and dataclasses ever cross a process boundary — the
+worker side of the engine looks the backend up again in its own process
+(see :mod:`repro.engine.engine`).
+
+Four backends ship with the repository:
+
+* ``scalar`` — the readable reference WFA (:class:`repro.align.WfaAligner`),
+* ``vectorized`` — the numpy whole-wavefront WFA (the RVV-code analog),
+* ``swg`` — the :func:`repro.align.swg_align` DP oracle (Eq. 2),
+* ``wfasic`` — the cycle-accurate accelerator simulator: the chunk is
+  encoded as a §4.2 input image, run through
+  :class:`repro.wfasic.WfasicAccelerator`, and (with backtrace on) the
+  CIGARs recovered by the CPU backtrace over the §4.4 result stream.
+
+New backends register through :func:`register_backend`; that is the
+extension point later multi-backend/sharding PRs build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..align.penalties import AffinePenalties
+from ..align.swg import swg_align
+from ..align.wfa import WfaAligner
+from ..align.wfa_vectorized import VectorizedWfaAligner
+
+__all__ = [
+    "PairOutcome",
+    "AlignmentBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]
+
+#: One work item: the caller-assigned slot plus the two sequences.
+PairItem = tuple[int, str, str]
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Result of aligning one pair.
+
+    ``slot`` echoes the item's slot so outcomes can be reordered after an
+    unordered parallel gather.  ``cigar`` is the compact CIGAR string
+    (``None`` when backtrace was off, the alignment failed, or the
+    alignment is empty).  ``success`` is cleared only by backends with
+    hardware limits (the ``wfasic`` simulator rejecting unsupported
+    reads); the software backends always succeed.
+    """
+
+    slot: int
+    score: int
+    success: bool = True
+    cigar: str | None = None
+
+
+class AlignmentBackend:
+    """Base class: a named chunk-at-a-time alignment strategy."""
+
+    name: str = "?"
+
+    def align_chunk(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> list[PairOutcome]:
+        raise NotImplementedError
+
+
+class _SoftwareWfaBackend(AlignmentBackend):
+    """Shared chunk loop for the two software WFA engines."""
+
+    aligner_cls: type
+
+    def align_chunk(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> list[PairOutcome]:
+        aligner = self.aligner_cls(penalties, keep_backtrace=backtrace)
+        out: list[PairOutcome] = []
+        for slot, pattern, text in items:
+            res = aligner.align(pattern, text)
+            cigar = res.cigar.compact() if backtrace and res.cigar else None
+            out.append(PairOutcome(slot=slot, score=res.score, cigar=cigar))
+        return out
+
+
+class ScalarWfaBackend(_SoftwareWfaBackend):
+    name = "scalar"
+    aligner_cls = WfaAligner
+
+
+class VectorizedWfaBackend(_SoftwareWfaBackend):
+    name = "vectorized"
+    aligner_cls = VectorizedWfaAligner
+
+
+class SwgBackend(AlignmentBackend):
+    """The exact DP oracle: slowest, but the ground truth."""
+
+    name = "swg"
+
+    def align_chunk(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> list[PairOutcome]:
+        out: list[PairOutcome] = []
+        for slot, pattern, text in items:
+            res = swg_align(pattern, text, penalties)
+            cigar = res.cigar.compact() if backtrace and len(res.cigar) else None
+            out.append(PairOutcome(slot=slot, score=res.score, cigar=cigar))
+        return out
+
+
+class WfasicBackend(AlignmentBackend):
+    """The accelerator simulator, one §4.2 batch image per chunk.
+
+    Chunk-level batching mirrors the hardware: the whole chunk becomes
+    one input image and one accelerator run, so the Extractor/Collector
+    paths and the hardware limits (MAX_READ_LEN, Eq. 6 Score_max) all
+    apply.  Unsupported pairs come back with ``success=False``.
+    """
+
+    name = "wfasic"
+
+    def align_chunk(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> list[PairOutcome]:
+        # Imported lazily to keep the software backends import-light.
+        from ..wfasic.accelerator import WfasicAccelerator
+        from ..wfasic.backtrace_cpu import CpuBacktracer
+        from ..wfasic.config import WfasicConfig
+        from ..wfasic.packets import encode_input_image, round_up_read_len
+        from ..workloads.generator import SequencePair
+
+        cfg = WfasicConfig(penalties=penalties, backtrace=backtrace)
+        slots = [slot for slot, _, _ in items]
+        pairs = [
+            SequencePair(pattern=pattern, text=text, pair_id=local)
+            for local, (_, pattern, text) in enumerate(items)
+        ]
+        max_read_len = min(
+            round_up_read_len(max((p.max_length for p in pairs), default=1)),
+            cfg.max_read_len,
+        )
+        image = encode_input_image(pairs, max_read_len)
+        batch = WfasicAccelerator(cfg).run_image(image, max_read_len)
+
+        scores = {r.alignment_id: r.score for r in batch.runs}
+        success = {r.alignment_id: r.success for r in batch.runs}
+        cigars: dict[int, str | None] = {}
+        if backtrace:
+            sequences = {p.pair_id: (p.pattern, p.text) for p in pairs}
+            results, _ = CpuBacktracer(cfg).process(
+                batch.output.as_stream(),
+                sequences,
+                separate=cfg.num_aligners > 1,
+            )
+            for res in results:
+                if res.success and res.cigar is not None:
+                    # An empty alignment has an empty CIGAR; report it as
+                    # "no CIGAR" like the software backends do.
+                    cigars[res.alignment_id] = res.cigar.compact() or None
+                    scores[res.alignment_id] = res.score
+                success[res.alignment_id] = res.success
+        return [
+            PairOutcome(
+                slot=slots[local],
+                score=scores[local] if success[local] else 0,
+                success=success[local],
+                cigar=cigars.get(local),
+            )
+            for local in range(len(pairs))
+        ]
+
+
+_BACKENDS: dict[str, AlignmentBackend] = {}
+
+
+def register_backend(backend: AlignmentBackend, *, replace: bool = False) -> None:
+    """Add a backend to the registry (the engine's extension point)."""
+    if backend.name in _BACKENDS and not replace:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> AlignmentBackend:
+    """Look a backend up by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {', '.join(backend_names())}"
+        ) from None
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+for _backend in (
+    ScalarWfaBackend(),
+    VectorizedWfaBackend(),
+    SwgBackend(),
+    WfasicBackend(),
+):
+    register_backend(_backend)

@@ -1,0 +1,109 @@
+"""LRU result cache for the batch engine.
+
+Serving traffic repeats itself: the same read aligned against the same
+reference window arrives again and again (duplicate requests, retries,
+seeds hitting the same region).  Re-running WFA for an identical
+``(pattern, text, penalties)`` triple is pure waste, so the engine keeps
+a bounded LRU of final outcomes and answers repeats from memory.
+
+The key includes the backend name and the backtrace flag: scores agree
+across backends, but CIGAR availability and the hardware success flag do
+not, and a cache must never change *what* a request would have returned.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..align.penalties import AffinePenalties
+from .backends import PairOutcome
+
+__all__ = ["CacheStats", "AlignmentCache"]
+
+#: A cached outcome: (score, success, compact CIGAR or None).
+CachedValue = tuple[int, bool, "str | None"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AlignmentCache:
+    """Bounded LRU of alignment outcomes.
+
+    ``capacity`` is the maximum number of cached outcomes; ``0`` disables
+    the cache entirely (every lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._store: OrderedDict[tuple, CachedValue] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def make_key(
+        backend: str,
+        pattern: str,
+        text: str,
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> tuple:
+        """Cache key: everything that determines an outcome."""
+        return (
+            backend,
+            pattern,
+            text,
+            penalties.mismatch,
+            penalties.gap_open,
+            penalties.gap_extend,
+            backtrace,
+        )
+
+    def get(self, key: tuple) -> CachedValue | None:
+        """Look up an outcome, refreshing its LRU position on a hit."""
+        value = self._store.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: tuple, value: CachedValue) -> None:
+        """Insert (or refresh) an outcome, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def put_outcome(self, key: tuple, outcome: PairOutcome) -> None:
+        """Convenience: store a :class:`PairOutcome`'s cacheable fields."""
+        self.put(key, (outcome.score, outcome.success, outcome.cigar))
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        self._store.clear()

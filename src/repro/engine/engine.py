@@ -1,0 +1,347 @@
+"""The parallel batch alignment engine.
+
+This is the software serving layer the ROADMAP's scaling PRs build on:
+where the paper instantiates up to 64 hardware aligner sections, the
+engine shards a batch of sequence pairs across a ``multiprocessing``
+worker pool.  The moving parts, in dispatch order:
+
+1. **Cache resolve** — each pair is looked up in an LRU keyed on
+   ``(backend, pattern, text, penalties, backtrace)``; hits never reach
+   a worker.
+2. **Coalescing** — duplicate misses *within* the batch are collapsed to
+   one work item; every duplicate is answered from the first result.
+3. **Chunked dispatch** — remaining unique items are grouped into chunks
+   of ``chunk_size`` pairs to amortise IPC (one pickle round-trip per
+   chunk, not per pair) and handed to the pool unordered; with
+   ``workers=1`` the chunk runs in-process with zero IPC.
+4. **Gather + counters** — outcomes are re-ordered to input order and a
+   :class:`BatchReport` is filled in: pairs/s, GCUPS (via
+   :mod:`repro.metrics.cups`, SWG-equivalent cells so the numbers are
+   comparable with the paper's Table 2), cache hit rate and per-worker
+   utilisation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
+from ..metrics.cups import gcups, swg_equivalent_cells
+from ..workloads.generator import SequencePair
+from .backends import PairItem, PairOutcome, backend_names, get_backend
+from .cache import AlignmentCache
+
+__all__ = [
+    "EngineConfig",
+    "WorkerStats",
+    "BatchReport",
+    "EngineResult",
+    "BatchAlignmentEngine",
+    "align_pairs",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static configuration of one engine instance.
+
+    Attributes
+    ----------
+    backend:
+        Name of a registered backend (``scalar``, ``vectorized``,
+        ``swg``, ``wfasic``, or anything added via
+        :func:`repro.engine.register_backend`).
+    workers:
+        Worker processes.  ``1`` (the default) runs everything
+        in-process — the serial path, with no pool and no IPC.
+    chunk_size:
+        Pairs per dispatched chunk.  Larger chunks amortise IPC but
+        reduce load-balancing granularity.
+    penalties:
+        Gap-affine penalties applied to every pair.
+    backtrace:
+        Whether CIGARs are recovered (and cached) alongside scores.
+    cache_size:
+        LRU capacity in outcomes; ``0`` disables result caching.
+    """
+
+    backend: str = "vectorized"
+    workers: int = 1
+    chunk_size: int = 16
+    penalties: AffinePenalties = field(default_factory=lambda: DEFAULT_PENALTIES)
+    backtrace: bool = False
+    cache_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(backend_names())}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for one batch."""
+
+    worker_id: int
+    chunks: int = 0
+    pairs: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """Throughput/latency counters for one batch."""
+
+    backend: str
+    workers: int
+    num_pairs: int
+    #: Pairs actually aligned by a backend (after cache hits + coalescing).
+    pairs_aligned: int
+    cache_hits: int
+    #: Within-batch duplicates answered from another item's result.
+    coalesced: int
+    elapsed_seconds: float
+    #: SWG-equivalent DP cells of the *whole* batch (cache hits included:
+    #: the engine served them, whatever the mechanism).
+    swg_cells: int
+    worker_stats: list[WorkerStats] = field(default_factory=list)
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.num_pairs / max(self.elapsed_seconds, 1e-9)
+
+    @property
+    def gcups(self) -> float:
+        """Serving-equivalent GCUPS (Table 2 sense) of the batch."""
+        return gcups(self.swg_cells, max(self.elapsed_seconds, 1e-9))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.num_pairs if self.num_pairs else 0.0
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Mean fraction of the batch wall-time the workers were busy."""
+        busy = sum(w.busy_seconds for w in self.worker_stats)
+        return busy / max(self.elapsed_seconds * self.workers, 1e-9)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (the CLI footer)."""
+        lines = [
+            f"backend={self.backend} workers={self.workers}",
+            f"pairs={self.num_pairs} aligned={self.pairs_aligned} "
+            f"cache_hits={self.cache_hits} coalesced={self.coalesced}",
+            f"elapsed={self.elapsed_seconds:.3f}s "
+            f"throughput={self.pairs_per_second:.1f} pairs/s "
+            f"gcups={self.gcups:.4f}",
+            f"cache_hit_rate={self.cache_hit_rate:.1%} "
+            f"worker_utilisation={self.worker_utilisation:.1%}",
+        ]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the CLI ``--format json`` summary)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "num_pairs": self.num_pairs,
+            "pairs_aligned": self.pairs_aligned,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "elapsed_seconds": self.elapsed_seconds,
+            "pairs_per_second": self.pairs_per_second,
+            "gcups": self.gcups,
+            "cache_hit_rate": self.cache_hit_rate,
+            "worker_utilisation": self.worker_utilisation,
+            "workers_busy_seconds": {
+                str(w.worker_id): w.busy_seconds for w in self.worker_stats
+            },
+        }
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one :meth:`BatchAlignmentEngine.align_batch` call."""
+
+    #: One outcome per input pair, in input order (``slot`` = input index).
+    outcomes: list[PairOutcome]
+    report: BatchReport
+
+    @property
+    def scores(self) -> list[int]:
+        return [o.score for o in self.outcomes]
+
+
+def _run_chunk(
+    payload: tuple[str, AffinePenalties, bool, list[PairItem]]
+) -> tuple[int, float, list[PairOutcome]]:
+    """Worker-side chunk execution (must stay module-level: picklable)."""
+    backend_name, penalties, backtrace, items = payload
+    start = time.perf_counter()
+    outcomes = get_backend(backend_name).align_chunk(items, penalties, backtrace)
+    return os.getpid(), time.perf_counter() - start, outcomes
+
+
+def _as_sequences(pair) -> tuple[str, str]:
+    if isinstance(pair, SequencePair):
+        return pair.pattern, pair.text
+    pattern, text = pair
+    return pattern, text
+
+
+class BatchAlignmentEngine:
+    """Shard a stream of sequence pairs across a worker pool.
+
+    The pool is created lazily on the first parallel batch and reused
+    across batches (fork cost is paid once); :meth:`close` — or use as a
+    context manager — tears it down.  The result cache likewise persists
+    across batches, which is exactly what a long-lived serving process
+    wants.
+    """
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = AlignmentCache(self.config.cache_size)
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchAlignmentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(self.config.workers)
+        return self._pool
+
+    # -- execution -----------------------------------------------------
+
+    def align_batch(self, pairs) -> EngineResult:
+        """Align a batch (``SequencePair`` objects or ``(a, b)`` tuples).
+
+        Returns outcomes in input order plus the batch counters.
+        """
+        cfg = self.config
+        start = time.perf_counter()
+
+        sequences = [_as_sequences(p) for p in pairs]
+        outcomes: list[PairOutcome | None] = [None] * len(sequences)
+
+        # 1/2 -- cache resolve + within-batch coalescing.
+        cache_hits = 0
+        coalesced = 0
+        pending: dict[tuple, list[int]] = {}
+        work_items: list[PairItem] = []
+        for idx, (pattern, text) in enumerate(sequences):
+            key = AlignmentCache.make_key(
+                cfg.backend, pattern, text, cfg.penalties, cfg.backtrace
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                score, success, cigar = cached
+                outcomes[idx] = PairOutcome(idx, score, success, cigar)
+                cache_hits += 1
+                continue
+            waiters = pending.get(key)
+            if waiters is not None:
+                waiters.append(idx)
+                coalesced += 1
+                continue
+            pending[key] = [idx]
+            # The slot of a work item is its position in work_items, so
+            # unordered gathers index straight back into the key list.
+            work_items.append((len(work_items), pattern, text))
+        keys_in_order = list(pending)
+
+        # 3 -- chunked dispatch.
+        worker_stats: dict[int, WorkerStats] = {}
+        chunk_results: list[tuple[int, float, list[PairOutcome]]] = []
+        if work_items:
+            chunks = [
+                work_items[off : off + cfg.chunk_size]
+                for off in range(0, len(work_items), cfg.chunk_size)
+            ]
+            payloads = [
+                (cfg.backend, cfg.penalties, cfg.backtrace, chunk)
+                for chunk in chunks
+            ]
+            if cfg.workers == 1:
+                chunk_results = [_run_chunk(p) for p in payloads]
+            else:
+                pool = self._ensure_pool()
+                chunk_results = list(pool.imap_unordered(_run_chunk, payloads))
+
+        # 4 -- gather, fill the cache, fan results out to duplicates.
+        for worker_id, busy, chunk_outcomes in chunk_results:
+            stats = worker_stats.setdefault(worker_id, WorkerStats(worker_id))
+            stats.chunks += 1
+            stats.pairs += len(chunk_outcomes)
+            stats.busy_seconds += busy
+            for outcome in chunk_outcomes:
+                key = keys_in_order[outcome.slot]
+                self.cache.put_outcome(key, outcome)
+                for idx in pending[key]:
+                    outcomes[idx] = PairOutcome(
+                        idx, outcome.score, outcome.success, outcome.cigar
+                    )
+
+        elapsed = time.perf_counter() - start
+        assert all(o is not None for o in outcomes), "engine lost a pair"
+        report = BatchReport(
+            backend=cfg.backend,
+            workers=cfg.workers,
+            num_pairs=len(sequences),
+            pairs_aligned=len(work_items),
+            cache_hits=cache_hits,
+            coalesced=coalesced,
+            elapsed_seconds=elapsed,
+            swg_cells=sum(
+                swg_equivalent_cells(len(a), len(b)) for a, b in sequences
+            ),
+            worker_stats=sorted(worker_stats.values(), key=lambda w: w.worker_id),
+        )
+        return EngineResult(outcomes=list(outcomes), report=report)
+
+
+def align_pairs(
+    pairs,
+    *,
+    backend: str = "vectorized",
+    workers: int = 1,
+    backtrace: bool = False,
+    penalties: AffinePenalties = DEFAULT_PENALTIES,
+    chunk_size: int = 16,
+    cache_size: int = 4096,
+) -> EngineResult:
+    """One-shot convenience wrapper around :class:`BatchAlignmentEngine`."""
+    config = EngineConfig(
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+        penalties=penalties,
+        backtrace=backtrace,
+        cache_size=cache_size,
+    )
+    with BatchAlignmentEngine(config) as engine:
+        return engine.align_batch(pairs)

@@ -17,6 +17,8 @@ from repro.align import (
     wfa_align_vectorized,
 )
 
+from tests.util import assert_valid_cigar
+
 dna = st.text(alphabet="ACGT", min_size=0, max_size=48)
 
 penalty_sets = st.builds(
@@ -38,16 +40,14 @@ def test_wfa_equals_swg(a, b, penalties):
 def test_vectorized_equals_swg(a, b, penalties):
     r = wfa_align_vectorized(a, b, penalties)
     assert r.score == swg_align(a, b, penalties).score
-    r.cigar.validate(a, b)
-    assert r.cigar.score(penalties) == r.score
+    assert_valid_cigar(r.cigar, a, b, penalties, r.score)
 
 
 @given(a=dna, b=dna, penalties=penalty_sets)
 @settings(max_examples=100, deadline=None)
 def test_swg_cigar_is_consistent(a, b, penalties):
     r = swg_align(a, b, penalties)
-    r.cigar.validate(a, b)
-    assert r.cigar.score(penalties) == r.score
+    assert_valid_cigar(r.cigar, a, b, penalties, r.score)
 
 
 @given(a=dna, b=dna, penalties=penalty_sets)

@@ -10,7 +10,7 @@ from repro.align import (
     swg_align,
 )
 
-from tests.util import random_pair, random_seq
+from tests.util import assert_valid_cigar, random_pair, random_seq
 
 
 class TestBasicCases:
@@ -61,5 +61,4 @@ class TestCrossChecks:
         for _ in range(30):
             a, b = random_pair(rng, rng.randint(0, 40), 0.2)
             r = sw_linear_align(a, b, p)
-            r.cigar.validate(a, b)
-            assert r.cigar.score(p) == r.score
+            assert_valid_cigar(r.cigar, a, b, p, r.score)

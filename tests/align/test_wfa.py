@@ -14,7 +14,7 @@ from repro.align import (
     wfa_score,
 )
 
-from tests.util import mutate, random_pair, random_seq
+from tests.util import assert_valid_cigar, mutate, random_pair, random_seq
 
 
 class TestBasicCases:
@@ -98,8 +98,7 @@ class TestAgainstOracle:
         for _ in range(50):
             a, b = random_pair(rng, rng.randint(0, 50), 0.2)
             r = wfa_align(a, b)
-            r.cigar.validate(a, b)
-            assert r.cigar.score(DEFAULT_PENALTIES) == r.score
+            assert_valid_cigar(r.cigar, a, b, DEFAULT_PENALTIES, r.score)
 
 
 class TestScoreOnlyMode:

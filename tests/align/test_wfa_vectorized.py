@@ -14,7 +14,7 @@ from repro.align import (
     wfa_align_vectorized,
 )
 
-from tests.util import mutate, random_pair, random_seq
+from tests.util import assert_valid_cigar, mutate, random_pair, random_seq
 
 
 class TestBasicCases:
@@ -63,9 +63,8 @@ class TestAgainstOracle:
         for _ in range(40):
             a, b = random_pair(rng, rng.randint(0, 100), 0.15)
             rv = wfa_align_vectorized(a, b)
-            rv.cigar.validate(a, b)
             assert rv.score == swg_align(a, b).score
-            assert rv.cigar.score(DEFAULT_PENALTIES) == rv.score
+            assert_valid_cigar(rv.cigar, a, b, DEFAULT_PENALTIES, rv.score)
 
     def test_unrelated_pairs(self):
         rng = random.Random(89)
@@ -104,8 +103,7 @@ class TestMediumScale:
         a = random_seq(rng, 1000)
         b = mutate(rng, a, 0.05)
         rv = VectorizedWfaAligner().align(a, b)
-        rv.cigar.validate(a, b)
-        assert rv.cigar.score(DEFAULT_PENALTIES) == rv.score
+        assert_valid_cigar(rv.cigar, a, b, DEFAULT_PENALTIES, rv.score)
         assert rv.score == swg_align(a, b).score
 
     @pytest.mark.slow

@@ -1,0 +1,92 @@
+"""Tests for the engine's backend registry and the shipped backends."""
+
+import random
+
+import pytest
+
+from repro.align import Cigar, DEFAULT_PENALTIES, swg_align
+from repro.engine import (
+    AlignmentBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.engine.backends import _BACKENDS, PairOutcome
+from tests.util import assert_valid_cigar, random_pair
+
+
+class TestRegistry:
+    def test_shipped_backends_present(self):
+        assert {"scalar", "vectorized", "swg", "wfasic"} <= set(backend_names())
+
+    def test_unknown_backend_lists_alternatives(self):
+        with pytest.raises(KeyError, match="scalar"):
+            get_backend("no-such-backend")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_backend(get_backend("scalar"))
+
+    def test_register_and_replace(self):
+        class Fake(AlignmentBackend):
+            name = "fake-for-test"
+
+            def align_chunk(self, items, penalties, backtrace):
+                return [PairOutcome(slot, 0) for slot, _, _ in items]
+
+        try:
+            register_backend(Fake())
+            assert "fake-for-test" in backend_names()
+            register_backend(Fake(), replace=True)  # idempotent with replace
+        finally:
+            _BACKENDS.pop("fake-for-test", None)
+
+
+class TestBackendContracts:
+    @pytest.fixture(scope="class")
+    def chunk(self):
+        rng = random.Random(5)
+        items = []
+        for slot, (length, rate) in enumerate(
+            [(0, 0.0), (1, 0.5), (30, 0.05), (90, 0.15), (90, 0.0)]
+        ):
+            a, b = random_pair(rng, length, rate)
+            items.append((slot * 10, a, b))  # sparse slots must round-trip
+        return items
+
+    @pytest.mark.parametrize("name", ["scalar", "vectorized", "swg", "wfasic"])
+    def test_scores_match_oracle(self, name, chunk):
+        outcomes = get_backend(name).align_chunk(
+            chunk, DEFAULT_PENALTIES, backtrace=False
+        )
+        assert [o.slot for o in outcomes] == [slot for slot, _, _ in chunk]
+        for (_, a, b), outcome in zip(chunk, outcomes):
+            assert outcome.success
+            assert outcome.score == swg_align(a, b).score
+            assert outcome.cigar is None  # backtrace off
+
+    @pytest.mark.parametrize("name", ["scalar", "vectorized", "swg", "wfasic"])
+    def test_backtrace_cigars_valid(self, name, chunk):
+        outcomes = get_backend(name).align_chunk(
+            chunk, DEFAULT_PENALTIES, backtrace=True
+        )
+        for (_, a, b), outcome in zip(chunk, outcomes):
+            if not a and not b:
+                assert outcome.cigar is None
+                continue
+            assert_valid_cigar(
+                Cigar.from_compact(outcome.cigar), a, b,
+                DEFAULT_PENALTIES, outcome.score,
+            )
+
+
+class TestWfasicHardwareLimits:
+    def test_overlong_read_fails_cleanly(self):
+        # The wfasic backend inherits the hardware MAX_READ_LEN: a read
+        # past 10 kbp is rejected with success=False, not mis-scored.
+        long_seq = "A" * 10_017
+        outcomes = get_backend("wfasic").align_chunk(
+            [(0, long_seq, long_seq)], DEFAULT_PENALTIES, backtrace=False
+        )
+        assert outcomes[0].success is False
+        assert outcomes[0].score == 0

@@ -1,0 +1,79 @@
+"""Tests for the engine's LRU result cache."""
+
+import pytest
+
+from repro.align import AffinePenalties, DEFAULT_PENALTIES
+from repro.engine import AlignmentCache
+from repro.engine.backends import PairOutcome
+
+
+def key(pattern, text, *, backend="scalar", penalties=DEFAULT_PENALTIES,
+        backtrace=False):
+    return AlignmentCache.make_key(backend, pattern, text, penalties, backtrace)
+
+
+class TestLruSemantics:
+    def test_hit_after_put(self):
+        cache = AlignmentCache(4)
+        cache.put(key("AC", "AC"), (0, True, None))
+        assert cache.get(key("AC", "AC")) == (0, True, None)
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = AlignmentCache(4)
+        assert cache.get(key("AC", "AC")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = AlignmentCache(2)
+        cache.put(key("A", "A"), (1, True, None))
+        cache.put(key("C", "C"), (2, True, None))
+        cache.get(key("A", "A"))  # refresh A: C becomes the LRU tail
+        cache.put(key("G", "G"), (3, True, None))
+        assert cache.stats.evictions == 1
+        assert cache.get(key("C", "C")) is None
+        assert cache.get(key("A", "A")) == (1, True, None)
+        assert cache.get(key("G", "G")) == (3, True, None)
+
+    def test_zero_capacity_disables_storage(self):
+        cache = AlignmentCache(0)
+        cache.put(key("A", "A"), (1, True, None))
+        assert len(cache) == 0
+        assert cache.get(key("A", "A")) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AlignmentCache(-1)
+
+    def test_clear_keeps_counters(self):
+        cache = AlignmentCache(4)
+        cache.put(key("A", "A"), (1, True, None))
+        cache.get(key("A", "A"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_put_outcome_round_trip(self):
+        cache = AlignmentCache(4)
+        cache.put_outcome(key("AC", "AG"), PairOutcome(0, 4, True, "1M1X"))
+        assert cache.get(key("AC", "AG")) == (4, True, "1M1X")
+
+
+class TestKeying:
+    def test_key_separates_penalties(self):
+        cache = AlignmentCache(4)
+        other = AffinePenalties(2, 3, 1)
+        cache.put(key("AC", "AG"), (4, True, None))
+        assert cache.get(key("AC", "AG", penalties=other)) is None
+
+    def test_key_separates_backend_and_backtrace(self):
+        cache = AlignmentCache(4)
+        cache.put(key("AC", "AG"), (4, True, None))
+        assert cache.get(key("AC", "AG", backend="swg")) is None
+        assert cache.get(key("AC", "AG", backtrace=True)) is None
+
+    def test_key_separates_pattern_text_roles(self):
+        cache = AlignmentCache(4)
+        cache.put(key("AAC", "AG"), (4, True, None))
+        assert cache.get(key("AG", "AAC")) is None

@@ -34,6 +34,7 @@ class TestExamples:
         assert "WFAsic score" in out
         assert "CIGAR" in out
 
+    @pytest.mark.slow
     def test_soc_batch_alignment(self, capsys):
         run_example("soc_batch_alignment.py")
         out = capsys.readouterr().out

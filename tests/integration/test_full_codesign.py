@@ -15,10 +15,11 @@ from repro.verify import EquivalenceChecker
 from repro.wfasic import WfasicConfig
 from repro.workloads import PairGenerator, SequencePair, make_input_set
 
-from tests.util import random_pair
+from tests.util import assert_valid_cigar, random_pair
 
 
 class TestCodesignFlow:
+    @pytest.mark.slow
     def test_paper_configuration_bt_on(self):
         pairs = make_input_set("1K-5%", 3)
         soc = Soc(WfasicConfig.paper_default(backtrace=True))
@@ -26,9 +27,10 @@ class TestCodesignFlow:
         for p in pairs:
             ref = swg_align(p.pattern, p.text)
             assert out.scores[p.pair_id] == ref.score
-            cigar = out.cigars[p.pair_id]
-            cigar.validate(p.pattern, p.text)
-            assert cigar.score(DEFAULT_PENALTIES) == ref.score
+            assert_valid_cigar(
+                out.cigars[p.pair_id], p.pattern, p.text,
+                DEFAULT_PENALTIES, ref.score,
+            )
 
     def test_mixed_batch_with_broken_pairs(self):
         """Broken pairs are rejected pair-wise; healthy pairs still align."""
@@ -63,7 +65,7 @@ class TestCodesignFlow:
         out = soc.run_accelerated(pairs)
         for p in pairs:
             assert out.success[p.pair_id]
-            out.cigars[p.pair_id].validate(p.pattern, p.text)
+            assert_valid_cigar(out.cigars[p.pair_id], p.pattern, p.text)
 
     def test_driver_register_trace_is_complete(self):
         """The CPU interacts with the accelerator only through MMIO."""
@@ -89,6 +91,7 @@ class TestEquivalenceCampaign:
 
 
 class TestScalePaths:
+    @pytest.mark.slow
     def test_1kbp_full_fidelity(self):
         gen = PairGenerator(length=1000, error_rate=0.08, seed=5)
         pairs = gen.batch(2)
@@ -97,7 +100,10 @@ class TestScalePaths:
         for p in pairs:
             ref = swg_align(p.pattern, p.text)
             assert out.scores[p.pair_id] == ref.score
-            assert out.cigars[p.pair_id].score(DEFAULT_PENALTIES) == ref.score
+            assert_valid_cigar(
+                out.cigars[p.pair_id], p.pattern, p.text,
+                DEFAULT_PENALTIES, ref.score,
+            )
 
     @pytest.mark.slow
     def test_10kbp_full_fidelity(self):
@@ -105,9 +111,10 @@ class TestScalePaths:
         soc = Soc(WfasicConfig.paper_default(backtrace=True))
         out = soc.run_accelerated(pairs)
         p = pairs[0]
-        cigar = out.cigars[p.pair_id]
-        cigar.validate(p.pattern, p.text)
-        assert cigar.score(DEFAULT_PENALTIES) == out.scores[p.pair_id]
+        assert_valid_cigar(
+            out.cigars[p.pair_id], p.pattern, p.text,
+            DEFAULT_PENALTIES, out.scores[p.pair_id],
+        )
         # Backtrace stream magnitude sanity (§4.1 mentions ~10 MB/pair at
         # 10 % error; our origin encoding is a few MB).
         assert out.backtrace_work.transactions_scanned > 50_000

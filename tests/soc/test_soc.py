@@ -7,6 +7,8 @@ from repro.soc import Soc
 from repro.wfasic import WfasicConfig
 from repro.workloads import make_input_set
 
+from tests.util import assert_valid_cigar
+
 
 class TestAcceleratedFlow:
     def test_scores_and_success(self):
@@ -23,9 +25,10 @@ class TestAcceleratedFlow:
         soc = Soc(WfasicConfig.paper_default(backtrace=True))
         out = soc.run_accelerated(pairs)
         for p in pairs:
-            cigar = out.cigars[p.pair_id]
-            cigar.validate(p.pattern, p.text)
-            assert cigar.score(soc.config.penalties) == out.scores[p.pair_id]
+            assert_valid_cigar(
+                out.cigars[p.pair_id], p.pattern, p.text,
+                soc.config.penalties, out.scores[p.pair_id],
+            )
         assert out.cpu_backtrace_cycles > 0
         assert out.cpu_driver_cycles > 0
         assert out.total_cycles == (

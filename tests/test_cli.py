@@ -1,5 +1,7 @@
 """Tests for the repro-wfasic command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -94,6 +96,89 @@ class TestAlign:
         empty = tmp_path / "empty.seq"
         empty.write_text("")
         assert main(["align", str(empty)]) == 1
+
+
+class TestBatch:
+    @pytest.fixture()
+    def seq_file(self, tmp_path):
+        out = tmp_path / "batch.seq"
+        main(["generate", str(out), "--set", "100-10%", "-n", "6"])
+        return str(out)
+
+    def test_tsv_output(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and "=" not in l]
+        assert lines[0] == "pair_id\tscore\tsuccess\tcigar"
+        assert len(lines) == 7  # header + 6 pairs
+        assert "pairs/s" in out and "cache_hit_rate" in out
+
+    def test_json_output(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["summary"]["num_pairs"] == 6
+        assert len(doc["results"]) == 6
+        assert all(r["success"] for r in doc["results"])
+
+    def test_backtrace_emits_cigars(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--backtrace"]) == 0
+        rows = [
+            l.split("\t") for l in capsys.readouterr().out.splitlines()
+            if l and l[0].isdigit()
+        ]
+        assert rows and all(r[3] not in (".", "") for r in rows)
+
+    def test_parallel_workers_match_serial(self, seq_file, capsys):
+        main(["batch", seq_file, "-j", "1"])
+        serial = [
+            l for l in capsys.readouterr().out.splitlines()
+            if l and l[0].isdigit()
+        ]
+        main(["batch", seq_file, "-j", "2", "--chunk-size", "2"])
+        parallel = [
+            l for l in capsys.readouterr().out.splitlines()
+            if l and l[0].isdigit()
+        ]
+        assert serial == parallel
+
+    def test_generated_workload_and_output_file(self, tmp_path, capsys):
+        out = tmp_path / "results.tsv"
+        assert main([
+            "batch", "--generate", "64", "-n", "8", "--seed", "3",
+            "--backend", "swg", "-o", str(out),
+        ]) == 0
+        assert "pairs/s" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 9
+
+    def test_custom_penalties(self, capsys):
+        # An all-mismatch pair re-scored under x=1: score 4, not 16.
+        assert main([
+            "batch", "--generate", "4", "-n", "1", "--error-rate", "0",
+            "--penalties", "1,0,1", "--backend", "swg",
+        ]) == 0
+
+    def test_requires_input_or_generate(self, capsys):
+        assert main(["batch"]) == 2
+        assert "needs an input" in capsys.readouterr().err
+
+    def test_rejects_both_input_and_generate(self, tmp_path, capsys):
+        f = tmp_path / "x.seq"
+        f.write_text(">A\n<A\n")
+        assert main(["batch", str(f), "--generate", "10"]) == 2
+
+    def test_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.seq"
+        empty.write_text("")
+        assert main(["batch", str(empty)]) == 1
+
+    def test_invalid_worker_count(self, seq_file, capsys):
+        assert main(["batch", seq_file, "-j", "0"]) == 2
+        assert "invalid engine configuration" in capsys.readouterr().err
+
+    def test_bad_penalties_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--generate", "8", "--penalties", "nope"])
 
 
 class TestReport:

@@ -1,10 +1,46 @@
-"""Shared helpers for the test suite: deterministic sequence generation."""
+"""Shared helpers for the test suite: deterministic sequence generation
+and the CIGAR-validity contract every aligner must satisfy."""
 
 from __future__ import annotations
 
 import random
 
+from repro.align.cigar import Cigar
+from repro.align.penalties import AffinePenalties, LinearPenalties
+
 DNA = "ACGT"
+
+
+def assert_valid_cigar(
+    cigar: Cigar,
+    a: str,
+    b: str,
+    penalties: AffinePenalties | LinearPenalties | None = None,
+    expected_score: int | None = None,
+) -> None:
+    """The CIGAR contract shared by every alignment engine.
+
+    * the CIGAR consumes exactly ``len(a)`` pattern and ``len(b)`` text
+      characters, and every M/X column covers the right characters
+      (:meth:`Cigar.validate`),
+    * re-scoring the CIGAR under ``penalties`` reproduces
+      ``expected_score`` (when both are given).
+    """
+    assert cigar is not None, "missing CIGAR"
+    assert cigar.pattern_length == len(a), (
+        f"CIGAR consumes {cigar.pattern_length} pattern chars, "
+        f"sequence has {len(a)}"
+    )
+    assert cigar.text_length == len(b), (
+        f"CIGAR consumes {cigar.text_length} text chars, "
+        f"sequence has {len(b)}"
+    )
+    cigar.validate(a, b)
+    if penalties is not None and expected_score is not None:
+        rescored = cigar.score(penalties)
+        assert rescored == expected_score, (
+            f"CIGAR re-scores to {rescored}, aligner reported {expected_score}"
+        )
 
 
 def random_seq(rng: random.Random, length: int) -> str:

@@ -1,0 +1,132 @@
+"""Differential test harness: every engine must agree with the oracle.
+
+Seeded random pairs sweeping read length (0-2000), error rate (1-20 %)
+and three penalty sets, asserting that
+
+* the scalar WFA, the vectorised WFA and the SWG DP oracle report the
+  same score,
+* both WFA CIGARs are valid alignments that re-score to the reported
+  score (the :func:`tests.util.assert_valid_cigar` contract),
+* every batch-engine backend (including the ``wfasic`` cycle simulator)
+  reproduces the oracle scores through the engine path.
+
+The 2000 bp sweep drags the scalar reference through large wavefronts
+and is marked slow; the fast grid keeps the inner loop under a second.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.align import (
+    AffinePenalties,
+    WfaAligner,
+    swg_align,
+    wfa_align_vectorized,
+)
+from repro.engine import align_pairs, backend_names
+from tests.util import assert_valid_cigar, random_pair, random_seq
+
+PENALTY_SETS = [
+    AffinePenalties(4, 6, 2),  # the paper's configuration
+    AffinePenalties(2, 3, 1),  # odd granularity (score step 1)
+    AffinePenalties(5, 0, 3),  # zero gap-open (linear-like affine)
+]
+
+ERROR_RATES = [0.01, 0.05, 0.20]
+
+
+def _check_pair(a: str, b: str, penalties: AffinePenalties) -> None:
+    oracle = swg_align(a, b, penalties)
+    scalar = WfaAligner(penalties).align(a, b)
+    vector = wfa_align_vectorized(a, b, penalties)
+
+    assert scalar.score == oracle.score, (
+        f"scalar {scalar.score} != oracle {oracle.score} "
+        f"(|a|={len(a)}, |b|={len(b)}, pen={penalties})"
+    )
+    assert vector.score == oracle.score, (
+        f"vector {vector.score} != oracle {oracle.score} "
+        f"(|a|={len(a)}, |b|={len(b)}, pen={penalties})"
+    )
+    assert_valid_cigar(scalar.cigar, a, b, penalties, scalar.score)
+    assert_valid_cigar(vector.cigar, a, b, penalties, vector.score)
+    assert_valid_cigar(oracle.cigar, a, b, penalties, oracle.score)
+
+
+class TestSoftwareEnginesAgree:
+    """Scalar WFA == vectorized WFA == SWG oracle, CIGARs re-score."""
+
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_fast_grid(self, penalties):
+        rng = random.Random(1234)
+        for length in (0, 1, 2, 13, 64, 150, 300):
+            for rate in ERROR_RATES:
+                a, b = random_pair(rng, length, rate)
+                _check_pair(a, b, penalties)
+
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_degenerate_shapes(self, penalties):
+        rng = random.Random(99)
+        seq = random_seq(rng, 40)
+        cases = [
+            ("", ""),
+            ("", seq),
+            (seq, ""),
+            (seq, seq),
+            (seq, random_seq(rng, 40)),  # unrelated, same length
+            (seq, random_seq(rng, 7)),  # wildly different lengths
+            ("A", "T"),
+            ("A" * 30, "T" * 30),  # all-mismatch
+        ]
+        for a, b in cases:
+            _check_pair(a, b, penalties)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_long_reads(self, penalties):
+        rng = random.Random(4321)
+        for length, rate in ((600, 0.20), (1200, 0.05), (2000, 0.01)):
+            a, b = random_pair(rng, length, rate)
+            _check_pair(a, b, penalties)
+
+
+class TestEngineBackendsAgree:
+    """Every registered engine backend reproduces the oracle scores."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = random.Random(777)
+        pairs = [
+            random_pair(rng, length, rate)
+            for length in (0, 5, 40, 120)
+            for rate in ERROR_RATES
+        ]
+        oracle = [swg_align(a, b).score for a, b in pairs]
+        return pairs, oracle
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_backend_matches_oracle(self, backend, workload):
+        pairs, oracle = workload
+        res = align_pairs(pairs, backend=backend, backtrace=True, chunk_size=4)
+        assert res.scores == oracle
+        assert all(o.success for o in res.outcomes)
+        for (a, b), outcome in zip(pairs, res.outcomes):
+            if outcome.cigar is None:
+                # Only legitimate for an empty alignment.
+                assert len(a) == 0 and len(b) == 0
+                continue
+            from repro.align import Cigar
+
+            assert_valid_cigar(
+                Cigar.from_compact(outcome.cigar), a, b,
+                AffinePenalties(), outcome.score,
+            )
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_backend_matches_oracle_parallel(self, backend, workload):
+        pairs, oracle = workload
+        res = align_pairs(pairs, backend=backend, workers=2, chunk_size=3)
+        assert res.scores == oracle

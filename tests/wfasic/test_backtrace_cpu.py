@@ -15,7 +15,7 @@ from repro.wfasic import (
 )
 from repro.wfasic.backtrace_cpu import CpuBacktraceWork, parse_bt_stream
 
-from tests.util import random_pair
+from tests.util import assert_valid_cigar, random_pair
 from tests.wfasic.test_aligner import job_for
 
 
@@ -40,8 +40,7 @@ class TestNoSeparation:
         for (a, b), res in zip(pairs, results):
             ref = swg_align(a, b)
             assert res.success and res.score == ref.score
-            res.cigar.validate(a, b)
-            assert res.cigar.score(cfg.penalties) == ref.score
+            assert_valid_cigar(res.cigar, a, b, cfg.penalties, ref.score)
         assert work.separation_bytes == 0
         assert work.transactions_scanned == len(stream) // 16
 
@@ -103,8 +102,7 @@ class TestSeparation:
             a, b = seqs[res.alignment_id]
             ref = swg_align(a, b)
             assert res.success and res.score == ref.score
-            res.cigar.validate(a, b)
-            assert res.cigar.score(cfg.penalties) == ref.score
+            assert_valid_cigar(res.cigar, a, b, cfg.penalties, ref.score)
         # Every payload byte was moved during separation.
         assert work.separation_bytes == 10 * work.transactions_scanned
 

@@ -13,14 +13,17 @@ because the sets never drift.
 import numpy as np
 
 from repro.align import swg_align
+from repro.soc import Soc
+from repro.wfasic import WfasicAccelerator, WfasicConfig
 from repro.wfasic.packets import (
     NbtRecord,
+    encode_input_image,
     encode_pair_record,
     pack_bt_final_block,
     pack_nbt_record,
     pack_origin_codes,
 )
-from repro.workloads import make_input_set
+from repro.workloads import SequencePair, make_input_set
 
 
 class TestByteFormatGoldenVectors:
@@ -52,6 +55,80 @@ class TestByteFormatGoldenVectors:
         assert block.hex().startswith("21c5fc01")
         assert len(block) == 40
         assert block[5:] == bytes(35)
+
+
+class TestEdgeCasePairRecords:
+    """Byte-exact §4.2 records for degenerate inputs."""
+
+    def test_empty_pattern_record(self):
+        # len_a header is zero; the pattern section is pure dummy 'A's.
+        rec = encode_pair_record(1, "", "ACGT", 16)
+        assert rec.hex() == (
+            "01000000000000000000000000000000"
+            "00000000000000000000000000000000"
+            "04000000000000000000000000000000"
+            "41414141414141414141414141414141"
+            "41434754414141414141414141414141"
+        )
+
+    def test_overlong_read_keeps_true_length(self):
+        # A 20-base read in a 16-base record: bases truncate, the header
+        # keeps the true length — the exact signature the Extractor
+        # rejects (§4.2).
+        rec = encode_pair_record(0, "C" * 20, "ACGT", 16)
+        assert int.from_bytes(rec[16:20], "little") == 20
+        assert rec[48:64] == b"C" * 16
+
+
+class TestEdgeCaseAlignments:
+    """Golden accelerator outcomes for degenerate sequence pairs."""
+
+    # (pattern, text) -> (score, compact CIGAR) under (x,o,e) = (4,6,2).
+    GOLDEN = [
+        ("", "ACGT", 14, "4I"),
+        ("ACGT", "", 14, "4D"),
+        ("", "", 0, ""),
+        ("ACGTACGTACGT", "ACGTACGTACGT", 0, "12M"),
+        ("AAAA", "CCCC", 16, "4X"),
+    ]
+
+    def test_full_fidelity_outcomes(self):
+        pairs = [
+            SequencePair(pattern=a, text=b, pair_id=i)
+            for i, (a, b, _, _) in enumerate(self.GOLDEN)
+        ]
+        out = Soc(WfasicConfig.paper_default(backtrace=True)).run_accelerated(pairs)
+        for i, (a, b, score, compact) in enumerate(self.GOLDEN):
+            assert out.success[i], (a, b)
+            assert out.scores[i] == score, (a, b)
+            assert out.cigars[i].compact() == compact, (a, b)
+
+    def test_max_read_len_boundary_accepted(self):
+        # Reads of exactly MAX_READ_LEN are in-contract and must align.
+        mrl = 32
+        pairs = [
+            SequencePair(pattern="ACGT" * 8, text="ACGT" * 8, pair_id=0),
+            SequencePair(pattern="ACGT" * 8, text="TGCA" * 8, pair_id=1),
+        ]
+        accel = WfasicAccelerator(WfasicConfig(max_read_len=mrl, backtrace=False))
+        batch = accel.run_image(encode_input_image(pairs, mrl), mrl)
+        by_id = {r.alignment_id: r for r in batch.runs}
+        assert by_id[0].success and by_id[0].score == 0
+        assert by_id[1].success
+        assert by_id[1].score == swg_align("ACGT" * 8, "TGCA" * 8).score
+
+    def test_one_past_max_read_len_rejected(self):
+        # One base past the boundary: rejected pair-wise, not fatal.
+        mrl = 32
+        pairs = [
+            SequencePair(pattern="A" * 33, text="ACGT", pair_id=0),
+            SequencePair(pattern="ACGT", text="ACGT", pair_id=1),
+        ]
+        accel = WfasicAccelerator(WfasicConfig(max_read_len=mrl, backtrace=False))
+        batch = accel.run_image(encode_input_image(pairs, mrl), mrl)
+        by_id = {r.alignment_id: r for r in batch.runs}
+        assert not by_id[0].success
+        assert by_id[1].success and by_id[1].score == 0
 
 
 class TestDatasetGoldenScores:

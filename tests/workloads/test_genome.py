@@ -118,6 +118,7 @@ class TestIndelRuns:
         pair = gen.pair()
         assert len(pair.text) == 2_000 - pair.errors_injected
 
+    @pytest.mark.slow
     def test_runs_lower_score_per_error(self):
         """Clustered indels amortise the gap-open penalty."""
         from repro.align import swg_align

@@ -40,6 +40,7 @@ class TestEstimateProfile:
         assert 300 < p.num_mismatches < 370
         assert 600 < p.num_gap_characters < 700
 
+    @pytest.mark.slow
     def test_expected_score_tracks_measurements(self):
         cfg = WfasicConfig.paper_default()
         gen = PairGenerator(length=2_000, error_rate=0.08, seed=2)
