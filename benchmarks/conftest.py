@@ -14,6 +14,7 @@ file.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -134,6 +135,33 @@ def measurements() -> dict[str, SetMeasurement]:
 
     lazy = Lazy(cache)
     return lazy
+
+
+BENCH_JSON = RESULTS_DIR / "BENCH_pr2.json"
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Merge machine-readable results into ``results/BENCH_pr2.json``.
+
+    Each bench records a named section; sections from earlier runs are
+    preserved so the fast and slow suites can fill the file piecemeal.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+
+    def _record(section: str, payload: dict) -> None:
+        data[section] = payload
+        BENCH_JSON.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
 
 
 @pytest.fixture(scope="session")

@@ -8,13 +8,19 @@ Public surface:
 * :func:`sw_linear_align` — gap-linear DP (Eq. 1).
 * :func:`wfa_align` / :class:`WfaAligner` — scalar WFA (Eq. 3/4).
 * :func:`wfa_align_vectorized` / :class:`VectorizedWfaAligner` — numpy WFA.
+* :func:`wfa_align_batched` / :class:`BatchedWfaAligner` — cross-pair
+  batched WFA: N pairs' wavefronts advanced in lockstep per numpy call.
+* :class:`PackCache` — per-sequence packing cache for the batched path.
+* :class:`StageProfiler` — per-stage wall-time/call counters.
 * :class:`ScoreLattice` — reachable scores and theoretical wavefront bands.
 """
 
 from .banded import BandedResult, banded_swg_score
 from .cigar import Cigar, CigarError
 from .lattice import Band, ScoreLattice
+from .packing import PackCache, pack_batch
 from .penalties import DEFAULT_PENALTIES, AffinePenalties, LinearPenalties
+from .profile import StageProfiler, format_profile
 from .swg import SwgResult, swg_align, swg_score
 from .swlinear import SwLinearResult, sw_linear_align, sw_linear_score
 from .wfa import (
@@ -27,19 +33,23 @@ from .wfa import (
     wfa_align,
     wfa_score,
 )
+from .wfa_batched import BatchedWfaAligner, wfa_align_batched
 from .wfa_vectorized import VectorizedWfaAligner, wfa_align_vectorized
 
 __all__ = [
     "AffinePenalties",
     "BandedResult",
     "Band",
+    "BatchedWfaAligner",
     "Cigar",
     "CigarError",
     "DEFAULT_PENALTIES",
     "LinearPenalties",
     "NULL_OFFSET",
+    "PackCache",
     "ScoreLattice",
     "ScoreLimitExceeded",
+    "StageProfiler",
     "SwLinearResult",
     "SwgResult",
     "VectorizedWfaAligner",
@@ -48,11 +58,14 @@ __all__ = [
     "WfaResult",
     "WfaWorkCounters",
     "banded_swg_score",
+    "format_profile",
+    "pack_batch",
     "sw_linear_align",
     "sw_linear_score",
     "swg_align",
     "swg_score",
     "wfa_align",
+    "wfa_align_batched",
     "wfa_align_vectorized",
     "wfa_score",
 ]

@@ -30,12 +30,24 @@ __all__ = [
     "ORIGIN_M_DEL",
     "ORIGIN_I_EXT_BIT",
     "ORIGIN_D_EXT_BIT",
+    "BAND_ABSENT",
     "ComputeOutput",
     "ExtendOutput",
+    "BatchedComputeOutput",
+    "BatchedExtendOutput",
     "compute_kernel",
     "extend_kernel",
+    "compute_kernel_batched",
+    "extend_kernel_batched",
+    "gather_window_batched",
     "pad_sequence",
 ]
+
+#: Per-pair ``lo`` placeholder meaning "this pair has no wavefront at this
+#: score".  Large enough that any window index derived from it lands far
+#: outside every real band (so gathers return NULL), small enough that
+#: int64 arithmetic on it can never overflow.
+BAND_ABSENT = 2**31
 
 # --- 5-bit origin encoding (§4.3.3: 3 bits M + 1 bit I + 1 bit D) ---------
 
@@ -138,6 +150,163 @@ def pad_sequence(seq: str, *, sentinel: int, block: int = 16) -> np.ndarray:
     """
     raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
     return np.concatenate([raw, np.full(block, sentinel, dtype=np.uint8)])
+
+
+@dataclass(frozen=True)
+class BatchedComputeOutput:
+    """One compute() step for a whole batch of pairs."""
+
+    m: np.ndarray  # int64 (pairs, width), NULL_OFFSET where unreachable
+    i: np.ndarray
+    d: np.ndarray
+    live_m: np.ndarray  # bool (pairs,): row has at least one live M cell
+    live_i: np.ndarray
+    live_d: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchedExtendOutput:
+    """One extend() step for a whole batch of pairs."""
+
+    offsets: np.ndarray  # int64 (pairs, width), post-extension M offsets
+    matches: np.ndarray  # int64 (pairs,): matched characters per pair
+    comparisons: np.ndarray  # int64 (pairs,): scalar-equivalent compares
+
+
+def gather_window_batched(
+    data: np.ndarray,
+    lo_src: np.ndarray,
+    hi_src: np.ndarray,
+    lo_new: np.ndarray,
+    width: int,
+    shift: int,
+) -> np.ndarray:
+    """Per-pair shifted band windows out of a batched wavefront.
+
+    ``data`` is a ``(pairs, W_src)`` wavefront whose row ``p`` covers
+    diagonals ``lo_src[p]..hi_src[p]`` (``lo_src[p] == BAND_ABSENT`` for
+    pairs without a wavefront).  The result is ``(pairs, width)`` with
+    ``out[p, t] = data[p, (lo_new[p] + t + shift) - lo_src[p]]`` where
+    that index lands inside the pair's band and NULL_OFFSET elsewhere —
+    the batched analog of :meth:`repro.align.wfa.Wavefront.window`, and
+    of the hardware's banked per-section RAM addressing (Fig. 6).
+    """
+    pairs = data.shape[0]
+    idx = (
+        lo_new[:, None]
+        + np.arange(width, dtype=np.int64)[None, :]
+        + (shift - lo_src)[:, None]
+    )
+    in_band = (idx >= 0) & (idx < (hi_src - lo_src + 1)[:, None])
+    if data.shape[1] == 0:
+        return np.full((pairs, width), NULL_OFFSET, dtype=np.int64)
+    np.clip(idx, 0, data.shape[1] - 1, out=idx)
+    vals = np.take_along_axis(data, idx, axis=1)
+    return np.where(in_band, vals, NULL_OFFSET)
+
+
+def compute_kernel_batched(
+    m_x: np.ndarray,
+    m_oe_km1: np.ndarray,
+    i_e_km1: np.ndarray,
+    m_oe_kp1: np.ndarray,
+    d_e_kp1: np.ndarray,
+    ks: np.ndarray,
+    ns: np.ndarray,
+    ms: np.ndarray,
+    valid: np.ndarray,
+) -> BatchedComputeOutput:
+    """Eq. 3 for one score step of a whole batch at once.
+
+    The 2D counterpart of :func:`compute_kernel`: every input is
+    ``(pairs, width)`` with row ``p`` aligned to that pair's band (use
+    :func:`gather_window_batched` to build the shifted source windows),
+    ``ks[p, t]`` is the diagonal of cell ``(p, t)``, ``ns``/``ms`` are
+    per-pair sequence lengths broadcastable against the cells (pass
+    column vectors), and ``valid`` masks the padding columns beyond each
+    pair's band (bands are padded to the widest pair in the batch).
+    """
+    ins = np.maximum(m_oe_km1, i_e_km1) + 1
+    dele = np.maximum(m_oe_kp1, d_e_kp1)
+    sub = m_x + 1
+
+    for arr in (ins, dele, sub):
+        dead = (arr > ms) | (arr - ks > ns) | (arr < 0) | ~valid
+        arr[dead] = NULL_OFFSET
+
+    mwf = np.maximum(np.maximum(ins, dele), sub)
+    return BatchedComputeOutput(
+        m=mwf,
+        i=ins,
+        d=dele,
+        live_m=(mwf >= 0).any(axis=1),
+        live_i=(ins >= 0).any(axis=1),
+        live_d=(dele >= 0).any(axis=1),
+    )
+
+
+def extend_kernel_batched(
+    av_pad: np.ndarray,
+    bv_pad: np.ndarray,
+    ns: np.ndarray,
+    ms: np.ndarray,
+    offsets: np.ndarray,
+    lo: np.ndarray,
+    *,
+    block: int = 16,
+) -> BatchedExtendOutput:
+    """extend() for one score step of a whole batch, in 16-base blocks.
+
+    ``av_pad``/``bv_pad`` are :func:`repro.align.packing.pack_batch`
+    matrices (one padded sequence per row, distinct sentinels for the
+    two sides); ``offsets`` is ``(pairs, width)`` with row ``p`` holding
+    the pre-extension M offsets for diagonals starting at ``lo[p]``.
+
+    All still-active cells across *all* pairs advance together: each
+    block-loop iteration compares 16 bases for every live cell of every
+    pair, so the per-call numpy overhead is paid once per batch instead
+    of once per pair.  Per-pair match/comparison counts come back so
+    work counters stay pair-accurate.
+    """
+    num_pairs, width = offsets.shape
+    out = offsets.astype(np.int64, copy=True)
+    matches = np.zeros(num_pairs, dtype=np.int64)
+    comparisons = np.zeros(num_pairs, dtype=np.int64)
+    span = np.arange(block, dtype=np.int64)
+
+    ks = lo[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    live = out >= 0
+    j2d = np.where(live, out, 0)
+    i2d = np.where(live, j2d - ks, 0)
+    sel = live & (i2d < ns[:, None]) & (j2d < ms[:, None])
+    rows, cols = np.nonzero(sel)
+    i = i2d[rows, cols]
+    j = j2d[rows, cols]
+
+    while rows.size:
+        ai = i[:, None] + span
+        bj = j[:, None] + span
+        neq = av_pad[rows[:, None], ai] != bv_pad[rows[:, None], bj]
+        hit = neq.any(axis=1)
+        run = np.where(hit, neq.argmax(axis=1), block)
+        i += run
+        j += run
+        matches += np.bincount(rows, weights=run, minlength=num_pairs).astype(
+            np.int64
+        )
+        # Scalar-equivalent comparisons: matched chars, plus one discovery
+        # compare for runs stopped by a genuine in-bounds mismatch (a stop
+        # at a sequence end costs no compare in the scalar model).
+        inside = (i < ns[rows]) & (j < ms[rows])
+        comparisons += np.bincount(
+            rows, weights=run + (hit & inside), minlength=num_pairs
+        ).astype(np.int64)
+        keep = (~hit) & inside
+        done = ~keep
+        out[rows[done], cols[done]] = j[done]
+        rows, cols, i, j = rows[keep], cols[keep], i[keep], j[keep]
+
+    return BatchedExtendOutput(offsets=out, matches=matches, comparisons=comparisons)
 
 
 def extend_kernel(

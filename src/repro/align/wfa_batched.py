@@ -1,0 +1,430 @@
+"""Cross-pair batched WFA: many alignments' wavefronts in lockstep.
+
+The vectorised aligner removed the per-*cell* Python loop; this module
+removes the per-*pair* one.  For short reads the numpy work per score
+step is tiny (a few dozen diagonals), so kernel dispatch overhead —
+argument checking, array allocation, the interpreter itself — dominates
+the per-pair aligners.  :class:`BatchedWfaAligner` therefore packs N
+pairs into 2D arrays (pairs x diagonals, padded to the widest live
+band) and runs :func:`repro.align.kernels.compute_kernel_batched` /
+:func:`~repro.align.kernels.extend_kernel_batched` **once per score
+step for the whole batch**, the software analog of the paper's 64
+parallel hardware sections advancing one wavefront each per cycle.
+
+Because penalties are shared across a batch, every pair's wavefront at
+penalty ``s`` is computable in the same step: pairs differ only in their
+band (tracked per row) and in when they converge.  Pairs whose ``M``
+wavefront reaches ``(n, m)`` retire immediately — their rows are
+compacted out of every live array — so a batch never keeps paying for
+finished pairs while stragglers run on (the "retire on converge" rule).
+
+Results are bit-identical to :class:`repro.align.wfa.WfaAligner`: the
+per-row recurrence, band clamping, extension and backtrace are the same
+math, just evaluated for all pairs at once, and the differential harness
+(``tests/verify/test_differential.py``) enforces score + CIGAR parity
+against the SWG oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .kernels import (
+    BAND_ABSENT,
+    compute_kernel_batched,
+    extend_kernel_batched,
+    gather_window_batched,
+)
+from .packing import PackCache, pack_batch
+from .penalties import AffinePenalties, DEFAULT_PENALTIES
+from .profile import StageProfiler
+from .wfa import (
+    NULL_OFFSET,
+    ScoreLimitExceeded,
+    Wavefront,
+    WfaResult,
+    WfaWorkCounters,
+    backtrace_wavefronts,
+)
+
+__all__ = ["BatchedWfaAligner", "wfa_align_batched"]
+
+_SENTINEL_A = 0xFF
+_SENTINEL_B = 0xFE
+
+
+@dataclass
+class _BatchRecord:
+    """The M/I/D wavefronts of one score for every live pair.
+
+    Row ``p`` of each data array covers diagonals ``lo..hi`` of that
+    pair's band (padded to the batch-wide width); per-matrix ``lo`` is
+    :data:`BAND_ABSENT` (and ``hi`` its negation) for pairs that have no
+    wavefront in that matrix at this score, which makes every gather from
+    the row come back NULL without a separate existence mask.
+    """
+
+    lo_m: np.ndarray
+    hi_m: np.ndarray
+    lo_i: np.ndarray
+    hi_i: np.ndarray
+    lo_d: np.ndarray
+    hi_d: np.ndarray
+    m: np.ndarray
+    i: np.ndarray
+    d: np.ndarray
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired pairs' rows (``keep`` is a boolean row mask)."""
+        self.lo_m = self.lo_m[keep]
+        self.hi_m = self.hi_m[keep]
+        self.lo_i = self.lo_i[keep]
+        self.hi_i = self.hi_i[keep]
+        self.lo_d = self.lo_d[keep]
+        self.hi_d = self.hi_d[keep]
+        self.m = self.m[keep]
+        self.i = self.i[keep]
+        self.d = self.d[keep]
+
+
+class BatchedWfaAligner:
+    """Exact gap-affine WFA over a whole batch of pairs in lockstep.
+
+    Parameters mirror :class:`repro.align.wfa.WfaAligner` where they
+    overlap:
+
+    penalties:
+        Gap-affine penalties shared by every pair of a batch (the
+        lockstep advance relies on a common score schedule).
+    keep_backtrace:
+        Store per-pair wavefront history so CIGARs can be recovered at
+        retirement.  Off, only scores are produced and memory stays
+        bounded by the recurrence window, exactly like the hardware.
+    max_score:
+        Abort threshold: raises :class:`ScoreLimitExceeded` as soon as
+        the *batch* score passes it while any pair is unfinished (the
+        whole call fails — a batch shares its score clock).
+    pack_cache:
+        Optional :class:`repro.align.packing.PackCache` so repeated
+        sequences skip the string->uint8 packing step.
+    profiler:
+        Optional :class:`repro.align.profile.StageProfiler`; the aligner
+        charges its ``pack`` / ``compute`` / ``extend`` / ``backtrace``
+        / ``retire`` stages to it.
+    """
+
+    def __init__(
+        self,
+        penalties: AffinePenalties = DEFAULT_PENALTIES,
+        *,
+        keep_backtrace: bool = True,
+        max_score: int | None = None,
+        pack_cache: PackCache | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> None:
+        self.penalties = penalties
+        self.keep_backtrace = keep_backtrace
+        self.max_score = max_score
+        self.pack_cache = pack_cache
+        self.profiler = profiler if profiler is not None else StageProfiler()
+
+    def align(self, a: str, b: str) -> WfaResult:
+        """Single-pair convenience: a batch of one."""
+        return self.align_batch([(a, b)])[0]
+
+    def align_batch(self, pairs: Sequence[tuple[str, str]]) -> list[WfaResult]:
+        """Align every ``(pattern, text)`` pair; results in input order."""
+        num_pairs = len(pairs)
+        if num_pairs == 0:
+            return []
+        p = self.penalties
+        prof = self.profiler
+        results: list[WfaResult | None] = [None] * num_pairs
+
+        with prof.stage("pack"):
+            if self.pack_cache is not None:
+                hits0, miss0 = self.pack_cache.hits, self.pack_cache.misses
+            av2d = pack_batch(
+                [a for a, _ in pairs], sentinel=_SENTINEL_A, cache=self.pack_cache
+            )
+            bv2d = pack_batch(
+                [b for _, b in pairs], sentinel=_SENTINEL_B, cache=self.pack_cache
+            )
+            if self.pack_cache is not None:
+                prof.count("pack_hits", self.pack_cache.hits - hits0)
+                prof.count("pack_misses", self.pack_cache.misses - miss0)
+
+        # Per-pair geometry, indexed by *original* pair position.
+        ns_all = np.array([len(a) for a, _ in pairs], dtype=np.int64)
+        ms_all = np.array([len(b) for _, b in pairs], dtype=np.int64)
+
+        # Work counters stay per original pair so retirement can hand each
+        # result the same accounting the scalar aligner would have kept.
+        score_iters = np.zeros(num_pairs, dtype=np.int64)
+        wf_steps = np.zeros(num_pairs, dtype=np.int64)
+        cells_comp = np.zeros(num_pairs, dtype=np.int64)
+        cells_alloc = np.zeros(num_pairs, dtype=np.int64)
+        ext_cmp = np.zeros(num_pairs, dtype=np.int64)
+        ext_match = np.zeros(num_pairs, dtype=np.int64)
+        peak_width = np.zeros(num_pairs, dtype=np.int64)
+
+        hist_m: list[dict[int, Wavefront]] = [{} for _ in range(num_pairs)]
+        hist_i: list[dict[int, Wavefront]] = [{} for _ in range(num_pairs)]
+        hist_d: list[dict[int, Wavefront]] = [{} for _ in range(num_pairs)]
+
+        def work_for(orig: int) -> WfaWorkCounters:
+            return WfaWorkCounters(
+                score_iterations=int(score_iters[orig]),
+                wavefront_steps=int(wf_steps[orig]),
+                cells_computed=int(cells_comp[orig]),
+                extend_comparisons=int(ext_cmp[orig]),
+                extend_matches=int(ext_match[orig]),
+                peak_wavefront_width=int(peak_width[orig]),
+                cells_allocated=int(cells_alloc[orig]),
+            )
+
+        # Live state, row-aligned to ``act`` (original indices still active).
+        act = np.arange(num_pairs, dtype=np.int64)
+        ns, ms = ns_all, ms_all
+        kfin = ms - ns
+        hard_caps = 2 * p.gap_open + p.gap_extend * (ns + ms) + p.mismatch
+
+        x, oe, e = p.mismatch, p.gap_open_total, p.gap_extend
+        step = p.score_granularity
+        span = p.max_window_span()
+        records: dict[int, _BatchRecord] = {}
+
+        def store_history(
+            s: int,
+            lo: np.ndarray,
+            hi: np.ndarray,
+            out_m: np.ndarray,
+            out_i: np.ndarray | None,
+            out_d: np.ndarray | None,
+            live_m: np.ndarray,
+            live_i: np.ndarray,
+            live_d: np.ndarray,
+        ) -> None:
+            if not self.keep_backtrace:
+                return
+            for r in np.flatnonzero(live_m):
+                w = int(hi[r] - lo[r]) + 1
+                lo_r, hi_r = int(lo[r]), int(hi[r])
+                orig = int(act[r])
+                hist_m[orig][s] = Wavefront(lo_r, hi_r, out_m[r, :w])
+                if out_i is not None and live_i[r]:
+                    hist_i[orig][s] = Wavefront(lo_r, hi_r, out_i[r, :w])
+                if out_d is not None and live_d[r]:
+                    hist_d[orig][s] = Wavefront(lo_r, hi_r, out_d[r, :w])
+
+        def retire(done: np.ndarray, s: int) -> bool:
+            """Finish ``done`` rows at score ``s``; True when batch is empty."""
+            nonlocal act, av2d, bv2d, ns, ms, kfin, hard_caps
+            with prof.stage("backtrace"):
+                for r in np.flatnonzero(done):
+                    orig = int(act[r])
+                    a, b = pairs[orig]
+                    cigar = (
+                        backtrace_wavefronts(
+                            a, b, hist_m[orig], hist_i[orig], hist_d[orig], s, p
+                        )
+                        if self.keep_backtrace
+                        else None
+                    )
+                    results[orig] = WfaResult(
+                        score=s, cigar=cigar, work=work_for(orig)
+                    )
+                    # History is per pair; free it as soon as it is spent.
+                    hist_m[orig] = hist_i[orig] = hist_d[orig] = {}
+            with prof.stage("retire"):
+                keep = ~done
+                act = act[keep]
+                av2d = av2d[keep]
+                bv2d = bv2d[keep]
+                ns, ms, kfin = ns[keep], ms[keep], kfin[keep]
+                hard_caps = hard_caps[keep]
+                for rec in records.values():
+                    rec.compact(keep)
+            return act.size == 0
+
+        # -- s = 0: one M cell per pair at k = 0, offset 0, then extend. ----
+        lo0 = np.zeros(act.size, dtype=np.int64)
+        hi0 = np.zeros(act.size, dtype=np.int64)
+        with prof.stage("extend"):
+            ext0 = extend_kernel_batched(
+                av2d, bv2d, ns, ms, np.zeros((act.size, 1), dtype=np.int64), lo0
+            )
+        ext_cmp[act] += ext0.comparisons
+        ext_match[act] += ext0.matches
+        cells_alloc[act] += 1
+        peak_width[act] = 1
+        absent = np.full(act.size, BAND_ABSENT, dtype=np.int64)
+        null_col = np.full((act.size, 1), NULL_OFFSET, dtype=np.int64)
+        records[0] = _BatchRecord(
+            lo_m=lo0,
+            hi_m=hi0,
+            lo_i=absent,
+            hi_i=-absent,
+            lo_d=absent.copy(),
+            hi_d=-absent.copy(),
+            m=ext0.offsets,
+            i=null_col,
+            d=null_col.copy(),
+        )
+        alive = np.ones(act.size, dtype=bool)
+        store_history(0, lo0, hi0, ext0.offsets, None, None, alive, alive, alive)
+        done = (kfin == 0) & (ext0.offsets[:, 0] == ms)
+        if done.any() and retire(done, 0):
+            return _finalize(results)
+
+        # -- the lockstep score loop ----------------------------------------
+        s = 0
+        while True:
+            s += step
+            if self.max_score is not None and s > self.max_score:
+                merged = WfaWorkCounters()
+                for orig in act:
+                    merged.merge(work_for(int(orig)))
+                raise ScoreLimitExceeded(s, self.max_score, merged)
+            if (s > hard_caps).any():
+                raise AssertionError(
+                    "batched WFA failed to terminate below the hard score cap "
+                    f"{int(hard_caps.max())}"
+                )
+            score_iters[act] += 1
+            self._evict(records, s, span)
+
+            rec_x = records.get(s - x)
+            rec_oe = records.get(s - oe)
+            rec_e = records.get(s - e)
+            if rec_x is None and rec_oe is None and rec_e is None:
+                continue
+
+            with prof.stage("compute"):
+                los = [
+                    lo
+                    for lo in (
+                        rec_x.lo_m if rec_x is not None else None,
+                        rec_oe.lo_m if rec_oe is not None else None,
+                        rec_e.lo_i if rec_e is not None else None,
+                        rec_e.lo_d if rec_e is not None else None,
+                    )
+                    if lo is not None
+                ]
+                his = [
+                    hi
+                    for hi in (
+                        rec_x.hi_m if rec_x is not None else None,
+                        rec_oe.hi_m if rec_oe is not None else None,
+                        rec_e.hi_i if rec_e is not None else None,
+                        rec_e.hi_d if rec_e is not None else None,
+                    )
+                    if hi is not None
+                ]
+                src_lo = np.minimum.reduce(los)
+                src_hi = np.maximum.reduce(his)
+                lo_new = np.maximum(src_lo - 1, -ns)
+                hi_new = np.minimum(src_hi + 1, ms)
+                exists = (src_lo < BAND_ABSENT) & (lo_new <= hi_new)
+                if not exists.any():
+                    continue
+                lo_new = np.where(exists, lo_new, BAND_ABSENT)
+                hi_new = np.where(exists, hi_new, -BAND_ABSENT)
+                width = int((hi_new - lo_new).max()) + 1
+
+                def win(rec, which: str, shift: int) -> np.ndarray:
+                    if rec is None:
+                        return np.full(
+                            (act.size, width), NULL_OFFSET, dtype=np.int64
+                        )
+                    data = getattr(rec, which)
+                    lo_src = getattr(rec, f"lo_{which}")
+                    hi_src = getattr(rec, f"hi_{which}")
+                    return gather_window_batched(
+                        data, lo_src, hi_src, lo_new, width, shift
+                    )
+
+                ks = lo_new[:, None] + np.arange(width, dtype=np.int64)[None, :]
+                valid = (
+                    np.arange(width, dtype=np.int64)[None, :]
+                    <= (hi_new - lo_new)[:, None]
+                )
+                out = compute_kernel_batched(
+                    win(rec_x, "m", 0),
+                    win(rec_oe, "m", -1),
+                    win(rec_e, "i", -1),
+                    win(rec_oe, "m", +1),
+                    win(rec_e, "d", +1),
+                    ks,
+                    ns[:, None],
+                    ms[:, None],
+                    valid,
+                )
+            w_rows = np.where(exists, hi_new - lo_new + 1, 0)
+            cells_comp[act] += 3 * w_rows
+            cells_alloc[act] += 3 * w_rows
+            if not out.live_m.any():
+                continue
+
+            with prof.stage("extend"):
+                ext = extend_kernel_batched(av2d, bv2d, ns, ms, out.m, lo_new)
+            ext_cmp[act] += ext.comparisons
+            ext_match[act] += ext.matches
+            wf_steps[act] += out.live_m
+            peak_width[act] = np.maximum(
+                peak_width[act], np.where(out.live_m, w_rows, 0)
+            )
+
+            records[s] = _BatchRecord(
+                lo_m=np.where(out.live_m, lo_new, BAND_ABSENT),
+                hi_m=np.where(out.live_m, hi_new, -BAND_ABSENT),
+                lo_i=np.where(out.live_i, lo_new, BAND_ABSENT),
+                hi_i=np.where(out.live_i, hi_new, -BAND_ABSENT),
+                lo_d=np.where(out.live_d, lo_new, BAND_ABSENT),
+                hi_d=np.where(out.live_d, hi_new, -BAND_ABSENT),
+                m=ext.offsets,
+                i=out.i,
+                d=out.d,
+            )
+            store_history(
+                s, lo_new, hi_new, ext.offsets, out.i, out.d,
+                out.live_m, out.live_i, out.live_d,
+            )
+
+            # Convergence: M reached offset m on the final diagonal.
+            cols = kfin - lo_new
+            in_band = (cols >= 0) & (cols <= hi_new - lo_new)
+            vals = ext.offsets[
+                np.arange(act.size), np.clip(cols, 0, width - 1)
+            ]
+            done = out.live_m & in_band & (vals == ms)
+            if done.any() and retire(done, s):
+                return _finalize(results)
+
+    @staticmethod
+    def _evict(records: dict[int, _BatchRecord], s: int, span: int) -> None:
+        """Drop batch records behind the recurrence window.
+
+        Unlike the per-pair aligners this is safe even with backtrace on:
+        CIGAR recovery reads the per-pair history snapshots, never the
+        batch records, so the batch only ever holds ``span`` scores.
+        """
+        horizon = s - span
+        for key in [key for key in records if key < horizon]:
+            del records[key]
+
+
+def _finalize(results: list[WfaResult | None]) -> list[WfaResult]:
+    assert all(r is not None for r in results), "batched aligner lost a pair"
+    return results  # type: ignore[return-value]
+
+
+def wfa_align_batched(
+    pairs: Sequence[tuple[str, str]],
+    penalties: AffinePenalties = DEFAULT_PENALTIES,
+) -> list[WfaResult]:
+    """One-shot batched WFA alignment (with backtrace) of many pairs."""
+    return BatchedWfaAligner(penalties).align_batch(pairs)

@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gap-affine penalties as mismatch,gap_open,gap_extend",
     )
+    bat.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage wall-time breakdown after the summary",
+    )
     bat.add_argument("--format", choices=("tsv", "json"), default="tsv")
     bat.add_argument(
         "-o", "--output", help="write results to this file (default stdout)"
@@ -256,6 +261,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # The human-readable counters always go to stdout so the engine's
     # throughput is visible whatever the results format.
     print(result.report.describe())
+    if args.profile:
+        print(result.report.describe_profile())
     return 0
 
 
@@ -341,7 +348,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "verify": _cmd_verify,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except OSError as exc:
+        print(f"cannot read input: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

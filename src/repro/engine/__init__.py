@@ -4,8 +4,12 @@ Where the paper scales by instantiating hardware aligner sections, this
 package scales at the system level: a batch of sequence pairs is
 resolved against an LRU result cache, duplicates are coalesced, and the
 remainder is sharded in chunks across a ``multiprocessing`` worker pool
-running any registered backend (software WFA, the SWG oracle, or the
-cycle-accurate ``wfasic`` simulator).
+running any registered backend (software WFA — scalar, vectorized, or
+cross-pair ``batched`` — the SWG oracle, or the cycle-accurate
+``wfasic`` simulator).  Every batch report carries per-stage profiling
+counters (pack/compute/extend/backtrace from the backend, resolve/
+dispatch/ipc/gather from the engine); the CLI prints them with
+``repro-wfasic batch --profile``.
 
 Entry points:
 

@@ -6,10 +6,14 @@ only plain strings and dataclasses ever cross a process boundary — the
 worker side of the engine looks the backend up again in its own process
 (see :mod:`repro.engine.engine`).
 
-Four backends ship with the repository:
+Five backends ship with the repository:
 
 * ``scalar`` — the readable reference WFA (:class:`repro.align.WfaAligner`),
 * ``vectorized`` — the numpy whole-wavefront WFA (the RVV-code analog),
+* ``batched`` — the cross-pair batched WFA
+  (:class:`repro.align.BatchedWfaAligner`): the whole chunk advances in
+  lockstep through shared 2D kernels, with a per-process pack cache so
+  repeated sequences skip string->uint8 packing,
 * ``swg`` — the :func:`repro.align.swg_align` DP oracle (Eq. 2),
 * ``wfasic`` — the cycle-accurate accelerator simulator: the chunk is
   encoded as a §4.2 input image, run through
@@ -17,7 +21,10 @@ Four backends ship with the repository:
   CIGARs recovered by the CPU backtrace over the §4.4 result stream.
 
 New backends register through :func:`register_backend`; that is the
-extension point later multi-backend/sharding PRs build on.
+extension point later multi-backend/sharding PRs build on.  Backends
+that want per-stage profiling override :meth:`align_chunk_profiled`;
+the engine always calls that entry point and merges the returned stage
+counters into the batch report.
 """
 
 from __future__ import annotations
@@ -25,9 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..align.packing import PackCache
 from ..align.penalties import AffinePenalties
+from ..align.profile import StageProfiler
 from ..align.swg import swg_align
 from ..align.wfa import WfaAligner
+from ..align.wfa_batched import BatchedWfaAligner
 from ..align.wfa_vectorized import VectorizedWfaAligner
 
 __all__ = [
@@ -73,6 +83,21 @@ class AlignmentBackend:
     ) -> list[PairOutcome]:
         raise NotImplementedError
 
+    def align_chunk_profiled(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> tuple[list[PairOutcome], dict | None]:
+        """Chunk outcomes plus optional per-stage profile counters.
+
+        The engine always dispatches through this method; the default
+        wraps :meth:`align_chunk` with no profile.  Backends with an
+        instrumented hot path (``batched``) override it to return their
+        :meth:`repro.align.StageProfiler.as_dict` payload.
+        """
+        return self.align_chunk(items, penalties, backtrace), None
+
 
 class _SoftwareWfaBackend(AlignmentBackend):
     """Shared chunk loop for the two software WFA engines."""
@@ -102,6 +127,61 @@ class ScalarWfaBackend(_SoftwareWfaBackend):
 class VectorizedWfaBackend(_SoftwareWfaBackend):
     name = "vectorized"
     aligner_cls = VectorizedWfaAligner
+
+
+#: Per-process padded-row cache shared by every batched chunk this worker
+#: runs: the serving mix repeats sequences, so later chunks skip packing.
+_PACK_CACHE = PackCache(capacity=8192)
+
+
+class BatchedWfaBackend(AlignmentBackend):
+    """Cross-pair batched WFA: the whole chunk advances in lockstep.
+
+    Where the other software backends loop pair-at-a-time inside a
+    chunk, this backend hands the chunk to
+    :class:`repro.align.BatchedWfaAligner` as one 2D batch, so every
+    score step costs one ``compute``/``extend`` kernel call for *all*
+    pairs.  Sequences are pre-packed through a process-wide
+    :class:`repro.align.PackCache` (repeated pairs skip packing), and
+    the aligner's stage profiler is returned with the chunk so the
+    engine can attribute pack/compute/extend/backtrace time.
+    """
+
+    name = "batched"
+
+    def align_chunk(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> list[PairOutcome]:
+        return self.align_chunk_profiled(items, penalties, backtrace)[0]
+
+    def align_chunk_profiled(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+    ) -> tuple[list[PairOutcome], dict | None]:
+        profiler = StageProfiler()
+        aligner = BatchedWfaAligner(
+            penalties,
+            keep_backtrace=backtrace,
+            pack_cache=_PACK_CACHE,
+            profiler=profiler,
+        )
+        results = aligner.align_batch(
+            [(pattern, text) for _, pattern, text in items]
+        )
+        outcomes = [
+            PairOutcome(
+                slot=slot,
+                score=res.score,
+                cigar=res.cigar.compact() if backtrace and res.cigar else None,
+            )
+            for (slot, _, _), res in zip(items, results)
+        ]
+        return outcomes, profiler.as_dict()
 
 
 class SwgBackend(AlignmentBackend):
@@ -216,6 +296,7 @@ def backend_names() -> list[str]:
 for _backend in (
     ScalarWfaBackend(),
     VectorizedWfaBackend(),
+    BatchedWfaBackend(),
     SwgBackend(),
     WfasicBackend(),
 ):

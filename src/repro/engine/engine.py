@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
+from ..align.profile import StageProfiler, format_profile
 from ..metrics.cups import gcups, swg_equivalent_cells
 from ..workloads.generator import SequencePair
 from .backends import PairItem, PairOutcome, backend_names, get_backend
@@ -116,6 +117,11 @@ class BatchReport:
     #: the engine served them, whatever the mechanism).
     swg_cells: int
     worker_stats: list[WorkerStats] = field(default_factory=list)
+    #: Per-stage wall-time/call counters (:meth:`StageProfiler.as_dict`):
+    #: engine stages (``resolve``/``dispatch``/``ipc``/``gather``) merged
+    #: with whatever the backend reported per chunk (``pack``/``compute``/
+    #: ``extend``/``backtrace``/``retire`` for the batched backend).
+    profile: dict = field(default_factory=dict)
 
     @property
     def pairs_per_second(self) -> float:
@@ -150,6 +156,10 @@ class BatchReport:
         ]
         return "\n".join(lines)
 
+    def describe_profile(self) -> str:
+        """The per-stage breakdown (the CLI ``--profile`` footer)."""
+        return format_profile(self.profile)
+
     def as_dict(self) -> dict:
         """JSON-friendly view (the CLI ``--format json`` summary)."""
         return {
@@ -167,6 +177,7 @@ class BatchReport:
             "workers_busy_seconds": {
                 str(w.worker_id): w.busy_seconds for w in self.worker_stats
             },
+            "profile": self.profile,
         }
 
 
@@ -185,12 +196,14 @@ class EngineResult:
 
 def _run_chunk(
     payload: tuple[str, AffinePenalties, bool, list[PairItem]]
-) -> tuple[int, float, list[PairOutcome]]:
+) -> tuple[int, float, list[PairOutcome], dict | None]:
     """Worker-side chunk execution (must stay module-level: picklable)."""
     backend_name, penalties, backtrace, items = payload
     start = time.perf_counter()
-    outcomes = get_backend(backend_name).align_chunk(items, penalties, backtrace)
-    return os.getpid(), time.perf_counter() - start, outcomes
+    outcomes, profile = get_backend(backend_name).align_chunk_profiled(
+        items, penalties, backtrace
+    )
+    return os.getpid(), time.perf_counter() - start, outcomes, profile
 
 
 def _as_sequences(pair) -> tuple[str, str]:
@@ -244,6 +257,7 @@ class BatchAlignmentEngine:
         """
         cfg = self.config
         start = time.perf_counter()
+        prof = StageProfiler()
 
         sequences = [_as_sequences(p) for p in pairs]
         outcomes: list[PairOutcome | None] = [None] * len(sequences)
@@ -253,30 +267,31 @@ class BatchAlignmentEngine:
         coalesced = 0
         pending: dict[tuple, list[int]] = {}
         work_items: list[PairItem] = []
-        for idx, (pattern, text) in enumerate(sequences):
-            key = AlignmentCache.make_key(
-                cfg.backend, pattern, text, cfg.penalties, cfg.backtrace
-            )
-            cached = self.cache.get(key)
-            if cached is not None:
-                score, success, cigar = cached
-                outcomes[idx] = PairOutcome(idx, score, success, cigar)
-                cache_hits += 1
-                continue
-            waiters = pending.get(key)
-            if waiters is not None:
-                waiters.append(idx)
-                coalesced += 1
-                continue
-            pending[key] = [idx]
-            # The slot of a work item is its position in work_items, so
-            # unordered gathers index straight back into the key list.
-            work_items.append((len(work_items), pattern, text))
+        with prof.stage("resolve"):
+            for idx, (pattern, text) in enumerate(sequences):
+                key = AlignmentCache.make_key(
+                    cfg.backend, pattern, text, cfg.penalties, cfg.backtrace
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    score, success, cigar = cached
+                    outcomes[idx] = PairOutcome(idx, score, success, cigar)
+                    cache_hits += 1
+                    continue
+                waiters = pending.get(key)
+                if waiters is not None:
+                    waiters.append(idx)
+                    coalesced += 1
+                    continue
+                pending[key] = [idx]
+                # The slot of a work item is its position in work_items, so
+                # unordered gathers index straight back into the key list.
+                work_items.append((len(work_items), pattern, text))
         keys_in_order = list(pending)
 
         # 3 -- chunked dispatch.
         worker_stats: dict[int, WorkerStats] = {}
-        chunk_results: list[tuple[int, float, list[PairOutcome]]] = []
+        chunk_results: list[tuple[int, float, list[PairOutcome], dict | None]] = []
         if work_items:
             chunks = [
                 work_items[off : off + cfg.chunk_size]
@@ -286,25 +301,36 @@ class BatchAlignmentEngine:
                 (cfg.backend, cfg.penalties, cfg.backtrace, chunk)
                 for chunk in chunks
             ]
+            dispatch_start = time.perf_counter()
             if cfg.workers == 1:
                 chunk_results = [_run_chunk(p) for p in payloads]
             else:
                 pool = self._ensure_pool()
                 chunk_results = list(pool.imap_unordered(_run_chunk, payloads))
+            dispatch_wall = time.perf_counter() - dispatch_start
+            busy_total = sum(busy for _, busy, _, _ in chunk_results)
+            prof.add("dispatch", dispatch_wall, calls=len(payloads))
+            # IPC/queueing: dispatch wall-time not accounted to any worker.
+            # With workers=1 the chunk runs in-process, so this is ~0.
+            prof.add(
+                "ipc", max(0.0, dispatch_wall - busy_total), calls=len(payloads)
+            )
 
         # 4 -- gather, fill the cache, fan results out to duplicates.
-        for worker_id, busy, chunk_outcomes in chunk_results:
-            stats = worker_stats.setdefault(worker_id, WorkerStats(worker_id))
-            stats.chunks += 1
-            stats.pairs += len(chunk_outcomes)
-            stats.busy_seconds += busy
-            for outcome in chunk_outcomes:
-                key = keys_in_order[outcome.slot]
-                self.cache.put_outcome(key, outcome)
-                for idx in pending[key]:
-                    outcomes[idx] = PairOutcome(
-                        idx, outcome.score, outcome.success, outcome.cigar
-                    )
+        with prof.stage("gather"):
+            for worker_id, busy, chunk_outcomes, chunk_profile in chunk_results:
+                stats = worker_stats.setdefault(worker_id, WorkerStats(worker_id))
+                stats.chunks += 1
+                stats.pairs += len(chunk_outcomes)
+                stats.busy_seconds += busy
+                prof.merge(chunk_profile)
+                for outcome in chunk_outcomes:
+                    key = keys_in_order[outcome.slot]
+                    self.cache.put_outcome(key, outcome)
+                    for idx in pending[key]:
+                        outcomes[idx] = PairOutcome(
+                            idx, outcome.score, outcome.success, outcome.cigar
+                        )
 
         elapsed = time.perf_counter() - start
         assert all(o is not None for o in outcomes), "engine lost a pair"
@@ -320,6 +346,7 @@ class BatchAlignmentEngine:
                 swg_equivalent_cells(len(a), len(b)) for a, b in sequences
             ),
             worker_stats=sorted(worker_stats.values(), key=lambda w: w.worker_id),
+            profile=prof.as_dict(),
         )
         return EngineResult(outcomes=list(outcomes), report=report)
 

@@ -240,3 +240,111 @@ class TestOriginEncoding:
             emit_origins=True,
         )
         assert (out.origins < 32).all()
+
+
+class TestBatchedKernelsMatch1D:
+    """The 2D kernels must reproduce the 1D kernels row by row."""
+
+    def test_compute_rows_equal_1d(self):
+        from repro.align.kernels import compute_kernel_batched
+
+        rng = np.random.default_rng(13)
+        pairs, width = 6, 24
+        vals = rng.integers(-1, 30, size=(5, pairs, width)).astype(np.int64)
+        vals[vals < 0] = NULL
+        lo = rng.integers(-10, 2, size=pairs)
+        ns = rng.integers(5, 40, size=pairs)
+        ms = rng.integers(5, 40, size=pairs)
+        ks = lo[:, None] + np.arange(width, dtype=np.int64)[None, :]
+        valid = np.ones((pairs, width), dtype=bool)
+
+        out = compute_kernel_batched(
+            vals[0].copy(), vals[1].copy(), vals[2].copy(),
+            vals[3].copy(), vals[4].copy(),
+            ks, ns[:, None], ms[:, None], valid,
+        )
+        for r in range(pairs):
+            ref = compute_kernel(
+                vals[0, r].copy(), vals[1, r].copy(), vals[2, r].copy(),
+                vals[3, r].copy(), vals[4, r].copy(),
+                ks[r], int(ns[r]), int(ms[r]),
+            )
+            assert (out.m[r] == ref.m).all()
+            assert (out.i[r] == ref.i).all()
+            assert (out.d[r] == ref.d).all()
+            assert out.live_m[r] == ref.any_live
+
+    def test_compute_valid_mask_kills_padding_columns(self):
+        from repro.align.kernels import compute_kernel_batched
+
+        vals = np.full((5, 1, 4), 3, dtype=np.int64)
+        ks = np.zeros((1, 4), dtype=np.int64) + np.arange(4)
+        valid = np.array([[True, True, False, False]])
+        out = compute_kernel_batched(
+            vals[0], vals[1], vals[2], vals[3], vals[4],
+            ks, np.array([[20]]), np.array([[20]]), valid,
+        )
+        assert (out.m[0, 2:] == NULL).all()
+        assert (out.m[0, :2] >= 0).all()
+
+    def test_extend_rows_equal_1d(self):
+        import random as _random
+
+        from repro.align.kernels import extend_kernel_batched
+        from repro.align.packing import pack_batch
+        from tests.util import random_pair
+
+        rng = _random.Random(4)
+        seqs = [random_pair(rng, length, 0.2) for length in (0, 3, 20, 40, 40)]
+        av2d = pack_batch([a for a, _ in seqs], sentinel=0xFF)
+        bv2d = pack_batch([b for _, b in seqs], sentinel=0xFE)
+        ns = np.array([len(a) for a, _ in seqs], dtype=np.int64)
+        ms = np.array([len(b) for _, b in seqs], dtype=np.int64)
+        width = 7
+        lo = np.array([-1, 0, -3, -2, 1], dtype=np.int64)
+        offsets = np.full((len(seqs), width), NULL, dtype=np.int64)
+        for r, (a, b) in enumerate(seqs):
+            for t in range(width):
+                k = int(lo[r]) + t
+                j = min(len(b), max(0, k + 1))
+                if 0 <= j - k <= len(a):
+                    offsets[r, t] = j
+
+        out = extend_kernel_batched(av2d, bv2d, ns, ms, offsets, lo)
+        for r, (a, b) in enumerate(seqs):
+            ref = extend_kernel(
+                pad_sequence(a, sentinel=0xFF),
+                pad_sequence(b, sentinel=0xFE),
+                len(a), len(b), offsets[r], int(lo[r]),
+            )
+            assert (out.offsets[r] == ref.offsets).all()
+            assert out.matches[r] == ref.matches
+            assert out.comparisons[r] == ref.comparisons
+
+    def test_gather_window_matches_wavefront_window(self):
+        from repro.align.kernels import BAND_ABSENT, gather_window_batched
+        from repro.align.wfa import Wavefront
+
+        data = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int64)
+        lo_src = np.array([-1, 2], dtype=np.int64)
+        hi_src = np.array([1, 4], dtype=np.int64)
+        lo_new = np.array([-2, 1], dtype=np.int64)
+        out = gather_window_batched(data, lo_src, hi_src, lo_new, 4, shift=1)
+        for r in range(2):
+            wf = Wavefront(int(lo_src[r]), int(hi_src[r]), data[r])
+            ref = wf.window(int(lo_new[r]) + 1, int(lo_new[r]) + 4 + 1 - 1)
+            assert (out[r] == ref).all()
+
+    def test_gather_window_absent_row_is_null(self):
+        from repro.align.kernels import BAND_ABSENT, gather_window_batched
+
+        data = np.array([[7, 8]], dtype=np.int64)
+        out = gather_window_batched(
+            data,
+            np.array([BAND_ABSENT], dtype=np.int64),
+            np.array([-BAND_ABSENT], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            3,
+            shift=0,
+        )
+        assert (out == NULL).all()

@@ -17,7 +17,9 @@ from tests.util import assert_valid_cigar, random_pair
 
 class TestRegistry:
     def test_shipped_backends_present(self):
-        assert {"scalar", "vectorized", "swg", "wfasic"} <= set(backend_names())
+        assert {"scalar", "vectorized", "batched", "swg", "wfasic"} <= set(
+            backend_names()
+        )
 
     def test_unknown_backend_lists_alternatives(self):
         with pytest.raises(KeyError, match="scalar"):
@@ -54,7 +56,9 @@ class TestBackendContracts:
             items.append((slot * 10, a, b))  # sparse slots must round-trip
         return items
 
-    @pytest.mark.parametrize("name", ["scalar", "vectorized", "swg", "wfasic"])
+    @pytest.mark.parametrize(
+        "name", ["scalar", "vectorized", "batched", "swg", "wfasic"]
+    )
     def test_scores_match_oracle(self, name, chunk):
         outcomes = get_backend(name).align_chunk(
             chunk, DEFAULT_PENALTIES, backtrace=False
@@ -65,7 +69,9 @@ class TestBackendContracts:
             assert outcome.score == swg_align(a, b).score
             assert outcome.cigar is None  # backtrace off
 
-    @pytest.mark.parametrize("name", ["scalar", "vectorized", "swg", "wfasic"])
+    @pytest.mark.parametrize(
+        "name", ["scalar", "vectorized", "batched", "swg", "wfasic"]
+    )
     def test_backtrace_cigars_valid(self, name, chunk):
         outcomes = get_backend(name).align_chunk(
             chunk, DEFAULT_PENALTIES, backtrace=True
@@ -90,3 +96,36 @@ class TestWfasicHardwareLimits:
         )
         assert outcomes[0].success is False
         assert outcomes[0].score == 0
+
+
+class TestBatchedBackendSpecifics:
+    def test_profiled_chunk_returns_stage_counters(self):
+        rng = random.Random(17)
+        items = [
+            (slot, *random_pair(rng, 40, 0.1)) for slot in range(6)
+        ]
+        outcomes, profile = get_backend("batched").align_chunk_profiled(
+            items, DEFAULT_PENALTIES, backtrace=True
+        )
+        assert [o.slot for o in outcomes] == list(range(6))
+        assert profile is not None
+        for stage in ("pack", "compute", "extend", "backtrace"):
+            assert stage in profile
+            assert profile[stage]["calls"] >= 1
+
+    def test_default_profiled_wrapper_has_no_profile(self):
+        outcomes, profile = get_backend("scalar").align_chunk_profiled(
+            [(0, "ACGT", "ACGT")], DEFAULT_PENALTIES, backtrace=False
+        )
+        assert outcomes[0].score == 0
+        assert profile is None
+
+    def test_pack_cache_shared_across_chunks(self):
+        from repro.engine.backends import _PACK_CACHE
+
+        backend = get_backend("batched")
+        items = [(0, "ACGTACGTAA", "ACGTACGTAA")]
+        backend.align_chunk(items, DEFAULT_PENALTIES, backtrace=False)
+        hits_before = _PACK_CACHE.hits
+        backend.align_chunk(items, DEFAULT_PENALTIES, backtrace=False)
+        assert _PACK_CACHE.hits >= hits_before + 2  # pattern + text rows

@@ -65,6 +65,19 @@ class TestSerialPath:
         assert "pairs/s" in rep.describe()
         assert rep.as_dict()["num_pairs"] == len(pairs)
 
+    def test_report_profile_stages(self, pairs):
+        # Engine-side stages are always recorded; backend stages join in
+        # when the backend reports them (the batched path does).
+        rep = align_pairs(pairs, backend="vectorized").report
+        for stage in ("resolve", "dispatch", "ipc", "gather"):
+            assert stage in rep.profile, rep.profile
+        assert rep.as_dict()["profile"] == rep.profile
+
+        rep = align_pairs(pairs, backend="batched").report
+        for stage in ("resolve", "dispatch", "pack", "compute", "extend"):
+            assert stage in rep.profile, rep.profile
+        assert "stage" in rep.describe_profile()
+
 
 class TestParallelPath:
     def test_matches_serial(self, pairs):

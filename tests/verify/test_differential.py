@@ -7,8 +7,11 @@ and three penalty sets, asserting that
   same score,
 * both WFA CIGARs are valid alignments that re-score to the reported
   score (the :func:`tests.util.assert_valid_cigar` contract),
-* every batch-engine backend (including the ``wfasic`` cycle simulator)
-  reproduces the oracle scores through the engine path.
+* the cross-pair batched WFA reproduces the scalar results — score and
+  CIGAR — pair for pair on seeded mixed-length batches, regardless of
+  the order in which pairs retire from the lockstep batch,
+* every batch-engine backend (including ``batched`` and the ``wfasic``
+  cycle simulator) reproduces the oracle scores through the engine path.
 
 The 2000 bp sweep drags the scalar reference through large wavefronts
 and is marked slow; the fast grid keeps the inner loop under a second.
@@ -22,6 +25,7 @@ import pytest
 
 from repro.align import (
     AffinePenalties,
+    BatchedWfaAligner,
     WfaAligner,
     swg_align,
     wfa_align_vectorized,
@@ -91,6 +95,80 @@ class TestSoftwareEnginesAgree:
         for length, rate in ((600, 0.20), (1200, 0.05), (2000, 0.01)):
             a, b = random_pair(rng, length, rate)
             _check_pair(a, b, penalties)
+
+
+class TestBatchedAlignerAgrees:
+    """Batched lockstep WFA == scalar oracle, pair for pair.
+
+    The batch is deliberately heterogeneous (lengths 0-300 fast /
+    0-2000 slow, all error rates mixed into one batch) so pairs converge
+    at very different scores and the retire-and-compact path runs many
+    times within a single ``align_batch`` call.
+    """
+
+    def _check_batch(self, pairs, penalties):
+        batched = BatchedWfaAligner(penalties).align_batch(pairs)
+        for (a, b), res in zip(pairs, batched):
+            oracle = swg_align(a, b, penalties)
+            assert res.score == oracle.score, (
+                f"batched {res.score} != oracle {oracle.score} "
+                f"(|a|={len(a)}, |b|={len(b)}, pen={penalties})"
+            )
+            assert_valid_cigar(res.cigar, a, b, penalties, res.score)
+
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_fast_mixed_batch(self, penalties):
+        rng = random.Random(2024)
+        pairs = [
+            random_pair(rng, length, rate)
+            for length in (0, 1, 2, 13, 64, 150, 300)
+            for rate in ERROR_RATES
+        ]
+        self._check_batch(pairs, penalties)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_long_mixed_batch(self, penalties):
+        rng = random.Random(4202)
+        pairs = [
+            random_pair(rng, length, rate)
+            for length, rate in (
+                (0, 0.0), (7, 0.20), (600, 0.20), (1200, 0.05), (2000, 0.01),
+            )
+        ]
+        self._check_batch(pairs, penalties)
+
+    @pytest.mark.parametrize("penalties", PENALTY_SETS, ids=str)
+    def test_retiring_order_is_immaterial(self, penalties):
+        # Property: results depend only on the pair, never on the batch
+        # composition or the order pairs retire in.  Shuffling a batch
+        # reorders every compact step; a singleton batch removes
+        # batching entirely; both must agree with the scalar aligner.
+        rng = random.Random(31)
+        pairs = [
+            random_pair(rng, length, rate)
+            for length in (0, 5, 40, 120, 250)
+            for rate in ERROR_RATES
+        ]
+        scalar = {
+            pair: WfaAligner(penalties).align(*pair) for pair in pairs
+        }
+
+        def check(batch):
+            for pair, res in zip(
+                batch, BatchedWfaAligner(penalties).align_batch(batch)
+            ):
+                ref = scalar[pair]
+                assert res.score == ref.score
+                assert res.cigar.compact() == ref.cigar.compact()
+
+        check(pairs)
+        for seed in (1, 2, 3):
+            shuffled = pairs[:]
+            random.Random(seed).shuffle(shuffled)
+            check(shuffled)
+        for pair in pairs[::5]:
+            check([pair])
 
 
 class TestEngineBackendsAgree:
