@@ -454,7 +454,6 @@ def backtrace_wavefronts(
             k += 1
 
     return Cigar("".join(reversed(ops)))
-    return Cigar("".join(reversed(ops)))
 
 
 class ScoreLimitExceeded(RuntimeError):

@@ -140,6 +140,16 @@ class BatchedWfaAligner:
         num_pairs = len(pairs)
         if num_pairs == 0:
             return []
+        for idx, (a, b) in enumerate(pairs):
+            # Fail fast with the offending index: bytes (or any non-str)
+            # otherwise surfaces as an opaque AttributeError deep inside
+            # sequence packing, long after the bad pair's identity is lost.
+            if not isinstance(a, str) or not isinstance(b, str):
+                bad = a if not isinstance(a, str) else b
+                raise TypeError(
+                    f"pair {idx}: sequences must be str, got "
+                    f"{type(bad).__name__}"
+                )
         p = self.penalties
         prof = self.profiler
         results: list[WfaResult | None] = [None] * num_pairs

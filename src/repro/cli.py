@@ -95,6 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--cache-size", type=int, default=4096)
     bat.add_argument("--backtrace", action="store_true", help="recover CIGARs")
     bat.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first per-pair error instead of isolating it",
+    )
+    bat.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-chunk timeout on the parallel path (0 disables)",
+    )
+    bat.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="chunk resubmissions after a timeout or lost worker",
+    )
+    bat.add_argument(
         "--penalties",
         metavar="X,O,E",
         default=None,
@@ -203,7 +221,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         return 2
     if args.input is not None:
-        pairs = read_seq_file(args.input)
+        try:
+            pairs = read_seq_file(args.input)
+        except ValueError as exc:
+            print(f"cannot read input: {exc}", file=sys.stderr)
+            return 1
     else:
         gen = PairGenerator(
             length=args.generate,
@@ -224,12 +246,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             penalties=_parse_penalties(args.penalties),
             backtrace=args.backtrace,
             cache_size=args.cache_size,
+            strict=args.strict,
+            chunk_timeout=args.timeout if args.timeout > 0 else None,
+            max_chunk_retries=args.retries,
         )
     except ValueError as exc:
         print(f"invalid engine configuration: {exc}", file=sys.stderr)
         return 2
-    with BatchAlignmentEngine(config) as engine:
-        result = engine.align_batch(pairs)
+    try:
+        with BatchAlignmentEngine(config) as engine:
+            result = engine.align_batch(pairs)
+    except (TypeError, ValueError) as exc:
+        # Strict mode (or a type error) fails the whole batch up front.
+        print(f"batch failed: {exc}", file=sys.stderr)
+        return 1
 
     rows = [
         {
@@ -237,6 +267,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "score": outcome.score,
             "success": outcome.success,
             "cigar": outcome.cigar,
+            "ok": outcome.ok,
+            "error_kind": outcome.error_kind,
+            "error_msg": outcome.error_msg,
         }
         for pair, outcome in zip(pairs, result.outcomes)
     ]
@@ -263,7 +296,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(result.report.describe())
     if args.profile:
         print(result.report.describe_profile())
-    return 0
+    # Per-pair fault isolation keeps the batch alive, but the exit code
+    # still tells automation that some pairs errored.
+    return 1 if result.report.errors else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

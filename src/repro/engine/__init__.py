@@ -34,6 +34,16 @@ from .engine import (
     WorkerStats,
     align_pairs,
 )
+from .validation import (
+    ERROR_BACKEND,
+    ERROR_INVALID_BASE,
+    ERROR_TIMEOUT,
+    ERROR_UNSUPPORTED_READ,
+    ERROR_WORKER_LOST,
+    VALID_BASES,
+    classify_pair,
+    normalize_pair,
+)
 
 __all__ = [
     "AlignmentBackend",
@@ -43,10 +53,18 @@ __all__ = [
     "CacheStats",
     "EngineConfig",
     "EngineResult",
+    "ERROR_BACKEND",
+    "ERROR_INVALID_BASE",
+    "ERROR_TIMEOUT",
+    "ERROR_UNSUPPORTED_READ",
+    "ERROR_WORKER_LOST",
     "PairOutcome",
+    "VALID_BASES",
     "WorkerStats",
     "align_pairs",
     "backend_names",
+    "classify_pair",
     "get_backend",
+    "normalize_pair",
     "register_backend",
 ]

@@ -57,17 +57,57 @@ class PairOutcome:
     """Result of aligning one pair.
 
     ``slot`` echoes the item's slot so outcomes can be reordered after an
-    unordered parallel gather.  ``cigar`` is the compact CIGAR string
-    (``None`` when backtrace was off, the alignment failed, or the
-    alignment is empty).  ``success`` is cleared only by backends with
-    hardware limits (the ``wfasic`` simulator rejecting unsupported
-    reads); the software backends always succeed.
+    unordered parallel gather.  ``cigar`` is the compact CIGAR string:
+    ``None`` when backtrace was off or the alignment failed, and ``""``
+    (the valid empty CIGAR) for an empty-vs-empty alignment with
+    backtrace on.
+
+    Two independent failure channels coexist:
+
+    * ``success`` is the *hardware* flag: cleared by backends with
+      hardware limits (the ``wfasic`` simulator rejecting unsupported
+      reads, and the engine applying the same §4.2 policy for every
+      backend).  A cleared flag is a well-formed answer, not an error.
+    * ``ok``/``error_kind``/``error_msg`` is the *engine* error channel:
+      ``ok=False`` marks a pair whose request failed (validation
+      rejection, a backend exception, a lost worker or a chunk timeout)
+      — see :mod:`repro.engine.validation` for the ``error_kind``
+      taxonomy.  Errored outcomes are never cached.
     """
 
     slot: int
     score: int
     success: bool = True
     cigar: str | None = None
+    ok: bool = True
+    error_kind: str | None = None
+    error_msg: str | None = None
+
+    @classmethod
+    def error(cls, slot: int, kind: str, msg: str) -> "PairOutcome":
+        """An errored outcome: no score, both flags down."""
+        return cls(
+            slot=slot,
+            score=0,
+            success=False,
+            cigar=None,
+            ok=False,
+            error_kind=kind,
+            error_msg=msg,
+        )
+
+    @classmethod
+    def unsupported(cls, slot: int, kind: str, msg: str) -> "PairOutcome":
+        """An unsupported read: the hardware answer (§4.2), not an error."""
+        return cls(
+            slot=slot,
+            score=0,
+            success=False,
+            cigar=None,
+            ok=True,
+            error_kind=kind,
+            error_msg=msg,
+        )
 
 
 class AlignmentBackend:
@@ -114,7 +154,9 @@ class _SoftwareWfaBackend(AlignmentBackend):
         out: list[PairOutcome] = []
         for slot, pattern, text in items:
             res = aligner.align(pattern, text)
-            cigar = res.cigar.compact() if backtrace and res.cigar else None
+            # ``res.cigar`` may be the (falsy) empty CIGAR of an
+            # empty-vs-empty alignment: still a valid answer, kept as "".
+            cigar = res.cigar.compact() if backtrace and res.cigar is not None else None
             out.append(PairOutcome(slot=slot, score=res.score, cigar=cigar))
         return out
 
@@ -177,7 +219,11 @@ class BatchedWfaBackend(AlignmentBackend):
             PairOutcome(
                 slot=slot,
                 score=res.score,
-                cigar=res.cigar.compact() if backtrace and res.cigar else None,
+                cigar=(
+                    res.cigar.compact()
+                    if backtrace and res.cigar is not None
+                    else None
+                ),
             )
             for (slot, _, _), res in zip(items, results)
         ]
@@ -198,7 +244,7 @@ class SwgBackend(AlignmentBackend):
         out: list[PairOutcome] = []
         for slot, pattern, text in items:
             res = swg_align(pattern, text, penalties)
-            cigar = res.cigar.compact() if backtrace and len(res.cigar) else None
+            cigar = res.cigar.compact() if backtrace and res.cigar is not None else None
             out.append(PairOutcome(slot=slot, score=res.score, cigar=cigar))
         return out
 
@@ -252,9 +298,9 @@ class WfasicBackend(AlignmentBackend):
             )
             for res in results:
                 if res.success and res.cigar is not None:
-                    # An empty alignment has an empty CIGAR; report it as
-                    # "no CIGAR" like the software backends do.
-                    cigars[res.alignment_id] = res.cigar.compact() or None
+                    # An empty alignment has an empty CIGAR; "" is the
+                    # valid answer, like the software backends.
+                    cigars[res.alignment_id] = res.cigar.compact()
                     scores[res.alignment_id] = res.score
                 success[res.alignment_id] = res.success
         return [

@@ -101,7 +101,14 @@ class AlignmentCache:
             self.stats.evictions += 1
 
     def put_outcome(self, key: tuple, outcome: PairOutcome) -> None:
-        """Convenience: store a :class:`PairOutcome`'s cacheable fields."""
+        """Convenience: store a :class:`PairOutcome`'s cacheable fields.
+
+        Errored outcomes (``ok=False``: backend exceptions, lost workers,
+        timeouts) are transient and must never be replayed from the
+        cache, so they are silently skipped.
+        """
+        if not outcome.ok:
+            return
         self.put(key, (outcome.score, outcome.success, outcome.cigar))
 
     def clear(self) -> None:

@@ -19,6 +19,16 @@ worker pool.  The moving parts, in dispatch order:
    :mod:`repro.metrics.cups`, SWG-equivalent cells so the numbers are
    comparable with the paper's Table 2), cache hit rate and per-worker
    utilisation.
+
+The engine is **fault-isolating** end to end, mirroring the paper's
+verification campaign ("sends data in unexpected formats and checks the
+CPU does not hang", §5.1): a validation/normalization pass runs before
+step 1 (see :mod:`repro.engine.validation`), workers isolate backend
+exceptions per pair, and the parallel path survives chunk timeouts and
+worker death through bounded resubmission with in-process degradation.
+One malformed pair yields one errored :class:`PairOutcome`; it never
+costs the batch.  ``EngineConfig.strict`` restores raise-on-first-error
+for tests.
 """
 
 from __future__ import annotations
@@ -26,14 +36,28 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
 from ..align.profile import StageProfiler, format_profile
 from ..metrics.cups import gcups, swg_equivalent_cells
 from ..workloads.generator import SequencePair
-from .backends import PairItem, PairOutcome, backend_names, get_backend
+from .backends import (
+    AlignmentBackend,
+    PairItem,
+    PairOutcome,
+    backend_names,
+    get_backend,
+)
 from .cache import AlignmentCache
+from .validation import (
+    ERROR_BACKEND,
+    ERROR_INVALID_BASE,
+    ERROR_TIMEOUT,
+    ERROR_WORKER_LOST,
+    classify_pair,
+    normalize_pair,
+)
 
 __all__ = [
     "EngineConfig",
@@ -67,6 +91,24 @@ class EngineConfig:
         Whether CIGARs are recovered (and cached) alongside scores.
     cache_size:
         LRU capacity in outcomes; ``0`` disables result caching.
+    strict:
+        ``True`` restores raise-on-first-error (for tests and debugging):
+        validation rejections raise :class:`ValueError` and backend or
+        pool failures propagate instead of becoming per-pair errored
+        outcomes.  Unsupported reads (the §4.2 hardware policy) are a
+        well-formed answer and stay per-pair even in strict mode.
+    max_read_len:
+        Optional read-length cap applied by the shared unsupported-read
+        policy at the engine boundary; ``None`` (default) leaves length
+        limits to the backends (the ``wfasic`` simulator enforces its
+        own ``MAX_READ_LEN`` either way).
+    chunk_timeout:
+        Seconds to wait for one dispatched chunk before treating it as
+        lost (hung backend or dead worker); ``None`` waits forever.
+        Only the parallel path uses it.
+    max_chunk_retries:
+        Resubmissions attempted for a lost chunk before degrading (to
+        in-process execution, or per-pair timeout errors).
     """
 
     backend: str = "vectorized"
@@ -75,6 +117,10 @@ class EngineConfig:
     penalties: AffinePenalties = field(default_factory=lambda: DEFAULT_PENALTIES)
     backtrace: bool = False
     cache_size: int = 4096
+    strict: bool = False
+    max_read_len: int | None = None
+    chunk_timeout: float | None = 300.0
+    max_chunk_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in backend_names():
@@ -88,6 +134,12 @@ class EngineConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.max_read_len is not None and self.max_read_len < 1:
+            raise ValueError("max_read_len must be >= 1 (or None)")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be > 0 (or None)")
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
 
 
 @dataclass
@@ -113,9 +165,19 @@ class BatchReport:
     #: Within-batch duplicates answered from another item's result.
     coalesced: int
     elapsed_seconds: float
-    #: SWG-equivalent DP cells of the *whole* batch (cache hits included:
-    #: the engine served them, whatever the mechanism).
+    #: SWG-equivalent DP cells of the batch's *served* pairs (cache hits
+    #: included: the engine served them, whatever the mechanism; pairs
+    #: rejected or errored at the engine level are excluded, so GCUPS
+    #: never counts work that was not done).
     swg_cells: int
+    #: Pairs whose outcome is an engine error (``ok=False``: validation
+    #: rejection, backend exception, chunk timeout, lost worker).
+    errors: int = 0
+    #: Pairs stopped at the validation boundary (invalid charset, plus
+    #: unsupported reads under the shared §4.2 policy) — never dispatched.
+    rejected: int = 0
+    #: Chunk resubmissions performed after timeouts / worker death.
+    retries: int = 0
     worker_stats: list[WorkerStats] = field(default_factory=list)
     #: Per-stage wall-time/call counters (:meth:`StageProfiler.as_dict`):
     #: engine stages (``resolve``/``dispatch``/``ipc``/``gather``) merged
@@ -148,6 +210,8 @@ class BatchReport:
             f"backend={self.backend} workers={self.workers}",
             f"pairs={self.num_pairs} aligned={self.pairs_aligned} "
             f"cache_hits={self.cache_hits} coalesced={self.coalesced}",
+            f"errors={self.errors} rejected={self.rejected} "
+            f"retries={self.retries}",
             f"elapsed={self.elapsed_seconds:.3f}s "
             f"throughput={self.pairs_per_second:.1f} pairs/s "
             f"gcups={self.gcups:.4f}",
@@ -169,6 +233,9 @@ class BatchReport:
             "pairs_aligned": self.pairs_aligned,
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "retries": self.retries,
             "elapsed_seconds": self.elapsed_seconds,
             "pairs_per_second": self.pairs_per_second,
             "gcups": self.gcups,
@@ -194,16 +261,104 @@ class EngineResult:
         return [o.score for o in self.outcomes]
 
 
+#: What crosses the process boundary for one chunk.
+ChunkPayload = tuple[str, AffinePenalties, bool, bool, list[PairItem]]
+
+
+def _run_items_isolated(
+    backend: AlignmentBackend,
+    items: list[PairItem],
+    penalties: AffinePenalties,
+    backtrace: bool,
+) -> list[PairOutcome]:
+    """Re-run a poisoned chunk pair-at-a-time, trapping each failure.
+
+    One bad pair yields one errored outcome; every other pair of the
+    chunk still gets its real result (the fault-isolation invariant).
+    """
+    outcomes: list[PairOutcome] = []
+    for item in items:
+        try:
+            outcomes.extend(backend.align_chunk([item], penalties, backtrace))
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            outcomes.append(
+                PairOutcome.error(
+                    item[0], ERROR_BACKEND, f"{type(exc).__name__}: {exc}"
+                )
+            )
+    return outcomes
+
+
 def _run_chunk(
-    payload: tuple[str, AffinePenalties, bool, list[PairItem]]
+    payload: ChunkPayload,
 ) -> tuple[int, float, list[PairOutcome], dict | None]:
-    """Worker-side chunk execution (must stay module-level: picklable)."""
-    backend_name, penalties, backtrace, items = payload
+    """Worker-side chunk execution (must stay module-level: picklable).
+
+    The whole chunk is tried first (one kernel dispatch, the fast path);
+    if the backend throws, the chunk is replayed pair-at-a-time so only
+    the offending pair errors.  With ``strict`` the exception propagates
+    to the caller instead.
+    """
+    backend_name, penalties, backtrace, strict, items = payload
     start = time.perf_counter()
-    outcomes, profile = get_backend(backend_name).align_chunk_profiled(
-        items, penalties, backtrace
-    )
+    backend = get_backend(backend_name)
+    try:
+        outcomes, profile = backend.align_chunk_profiled(
+            items, penalties, backtrace
+        )
+    except Exception:
+        if strict:
+            raise
+        outcomes = _run_items_isolated(backend, items, penalties, backtrace)
+        profile = None
     return os.getpid(), time.perf_counter() - start, outcomes, profile
+
+
+def _quarantine_entry(payload: ChunkPayload, queue) -> None:
+    """Entry point of a quarantine process: one pair, result via queue."""
+    _, _, outcomes, _ = _run_chunk(payload)
+    queue.put(outcomes)
+
+
+def _run_item_quarantined(
+    payload: ChunkPayload, timeout: float | None
+) -> PairOutcome:
+    """Run a single-pair chunk in a disposable process.
+
+    Survives anything the pair can do: a Python exception becomes a
+    ``backend_error`` outcome (inside :func:`_run_chunk`), a hang is
+    terminated after ``timeout`` and a process death is reported as
+    ``worker_lost`` — the engine process is never at risk.
+    """
+    (slot, _, _), = payload[-1]
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    proc = ctx.Process(
+        target=_quarantine_entry, args=(payload, result_queue), daemon=True
+    )
+    proc.start()
+    try:
+        proc.join(timeout)
+        if proc.is_alive():
+            return PairOutcome.error(
+                slot, ERROR_TIMEOUT, f"pair exceeded the {timeout}s chunk timeout"
+            )
+        try:
+            # The queue feeder thread may still be flushing right after
+            # exit; a short grace get covers that race.
+            outcomes = result_queue.get(timeout=5.0)
+        except Exception:  # noqa: BLE001 — queue.Empty
+            return PairOutcome.error(
+                slot,
+                ERROR_WORKER_LOST,
+                f"worker process died (exit code {proc.exitcode})",
+            )
+        return outcomes[0]
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+        result_queue.close()
 
 
 def _as_sequences(pair) -> tuple[str, str]:
@@ -248,27 +403,50 @@ class BatchAlignmentEngine:
             self._pool = multiprocessing.get_context().Pool(self.config.workers)
         return self._pool
 
+    def _reset_pool(self) -> None:
+        """Tear the pool down hard (hung workers included)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
     # -- execution -----------------------------------------------------
 
     def align_batch(self, pairs) -> EngineResult:
         """Align a batch (``SequencePair`` objects or ``(a, b)`` tuples).
 
-        Returns outcomes in input order plus the batch counters.
+        Returns outcomes in input order plus the batch counters.  Never
+        raises for per-pair *data* errors unless ``strict``; non-``str``
+        sequences are programming errors and raise :class:`TypeError`
+        regardless.
         """
         cfg = self.config
         start = time.perf_counter()
         prof = StageProfiler()
 
-        sequences = [_as_sequences(p) for p in pairs]
-        outcomes: list[PairOutcome | None] = [None] * len(sequences)
-
-        # 1/2 -- cache resolve + within-batch coalescing.
+        outcomes: list[PairOutcome | None] = [None] * len(pairs)
         cache_hits = 0
-        coalesced = 0
+        rejected = 0
         pending: dict[tuple, list[int]] = {}
         work_items: list[PairItem] = []
+        sequences: list[tuple[str, str]] = []
+
+        # 0/1/2 -- validate + normalize, cache resolve, coalescing.
         with prof.stage("resolve"):
-            for idx, (pattern, text) in enumerate(sequences):
+            for idx, pair in enumerate(pairs):
+                pattern, text = normalize_pair(idx, *_as_sequences(pair))
+                sequences.append((pattern, text))
+                verdict = classify_pair(pattern, text, cfg.max_read_len)
+                if verdict is not None:
+                    kind, msg = verdict
+                    if kind == ERROR_INVALID_BASE:
+                        if cfg.strict:
+                            raise ValueError(f"pair {idx}: {msg}")
+                        outcomes[idx] = PairOutcome.error(idx, kind, msg)
+                    else:
+                        outcomes[idx] = PairOutcome.unsupported(idx, kind, msg)
+                    rejected += 1
+                    continue
                 key = AlignmentCache.make_key(
                     cfg.backend, pattern, text, cfg.penalties, cfg.backtrace
                 )
@@ -281,32 +459,32 @@ class BatchAlignmentEngine:
                 waiters = pending.get(key)
                 if waiters is not None:
                     waiters.append(idx)
-                    coalesced += 1
                     continue
                 pending[key] = [idx]
                 # The slot of a work item is its position in work_items, so
                 # unordered gathers index straight back into the key list.
                 work_items.append((len(work_items), pattern, text))
         keys_in_order = list(pending)
+        coalesced = sum(len(w) - 1 for w in pending.values())
 
-        # 3 -- chunked dispatch.
+        # 3 -- chunked dispatch (fault-tolerant on the parallel path).
         worker_stats: dict[int, WorkerStats] = {}
         chunk_results: list[tuple[int, float, list[PairOutcome], dict | None]] = []
+        retries = 0
         if work_items:
             chunks = [
                 work_items[off : off + cfg.chunk_size]
                 for off in range(0, len(work_items), cfg.chunk_size)
             ]
-            payloads = [
-                (cfg.backend, cfg.penalties, cfg.backtrace, chunk)
+            payloads: list[ChunkPayload] = [
+                (cfg.backend, cfg.penalties, cfg.backtrace, cfg.strict, chunk)
                 for chunk in chunks
             ]
             dispatch_start = time.perf_counter()
             if cfg.workers == 1:
                 chunk_results = [_run_chunk(p) for p in payloads]
             else:
-                pool = self._ensure_pool()
-                chunk_results = list(pool.imap_unordered(_run_chunk, payloads))
+                chunk_results, retries = self._dispatch_parallel(payloads)
             dispatch_wall = time.perf_counter() - dispatch_start
             busy_total = sum(busy for _, busy, _, _ in chunk_results)
             prof.add("dispatch", dispatch_wall, calls=len(payloads))
@@ -328,12 +506,11 @@ class BatchAlignmentEngine:
                     key = keys_in_order[outcome.slot]
                     self.cache.put_outcome(key, outcome)
                     for idx in pending[key]:
-                        outcomes[idx] = PairOutcome(
-                            idx, outcome.score, outcome.success, outcome.cigar
-                        )
+                        outcomes[idx] = replace(outcome, slot=idx)
 
         elapsed = time.perf_counter() - start
         assert all(o is not None for o in outcomes), "engine lost a pair"
+        errors = sum(1 for o in outcomes if not o.ok)
         report = BatchReport(
             backend=cfg.backend,
             workers=cfg.workers,
@@ -341,14 +518,101 @@ class BatchAlignmentEngine:
             pairs_aligned=len(work_items),
             cache_hits=cache_hits,
             coalesced=coalesced,
+            errors=errors,
+            rejected=rejected,
+            retries=retries,
             elapsed_seconds=elapsed,
             swg_cells=sum(
-                swg_equivalent_cells(len(a), len(b)) for a, b in sequences
+                swg_equivalent_cells(len(a), len(b))
+                for (a, b), o in zip(sequences, outcomes)
+                # Served pairs only: engine-level rejects/errors did no work.
+                if o.ok and o.error_kind is None
             ),
             worker_stats=sorted(worker_stats.values(), key=lambda w: w.worker_id),
             profile=prof.as_dict(),
         )
         return EngineResult(outcomes=list(outcomes), report=report)
+
+    # -- fault-tolerant parallel dispatch ------------------------------
+
+    def _dispatch_parallel(
+        self, payloads: list[ChunkPayload]
+    ) -> tuple[list[tuple[int, float, list[PairOutcome], dict | None]], int]:
+        """Run chunks on the pool, surviving timeouts and worker death.
+
+        Every chunk is submitted up front; each is then gathered with
+        ``chunk_timeout``.  A chunk whose result never arrives — hung
+        backend, or a worker that died and took the task with it (the
+        pool respawns the *worker*, but the task is lost) — is
+        resubmitted up to ``max_chunk_retries`` times, then degraded:
+        per-pair ``timeout`` errors if it kept timing out (re-running a
+        possibly-hanging chunk in-process would hang the engine), or an
+        in-process isolated replay for everything else.  If the pool
+        cannot be created at all, the whole batch runs in-process.
+        Returns the chunk results plus the resubmission count.
+        """
+        cfg = self.config
+        retries = 0
+        results: list[tuple[int, float, list[PairOutcome], dict | None]] = []
+        try:
+            pool = self._ensure_pool()
+        except OSError:
+            if cfg.strict:
+                raise
+            # Pool unusable: graceful degradation to in-process execution.
+            return [_run_chunk(p) for p in payloads], retries
+
+        handles = [
+            (payload, pool.apply_async(_run_chunk, (payload,)))
+            for payload in payloads
+        ]
+        saw_timeout = False
+        for payload, handle in handles:
+            attempts = 0
+            while True:
+                try:
+                    results.append(handle.get(cfg.chunk_timeout))
+                    break
+                except Exception as exc:  # noqa: BLE001 — pool boundary
+                    timed_out = isinstance(exc, multiprocessing.TimeoutError)
+                    saw_timeout |= timed_out
+                    if cfg.strict:
+                        raise
+                    if attempts < cfg.max_chunk_retries:
+                        attempts += 1
+                        retries += 1
+                        handle = pool.apply_async(_run_chunk, (payload,))
+                        continue
+                    results.append(self._degrade_chunk(payload, timed_out))
+                    break
+        if saw_timeout:
+            # Hung workers may still occupy pool slots; start clean next
+            # batch rather than inheriting a crippled pool.
+            self._reset_pool()
+        return results, retries
+
+    def _degrade_chunk(
+        self, payload: ChunkPayload, timed_out: bool
+    ) -> tuple[int, float, list[PairOutcome], dict | None]:
+        """Last resort for a chunk the pool kept losing.
+
+        The chunk is replayed pair-at-a-time, each pair in its own
+        disposable *quarantine* process: a pair that hangs or kills its
+        process errors alone (``timeout`` / ``worker_lost``) while every
+        healthy pair of the chunk still comes back with its real result.
+        Running the chunk in the engine process instead would risk the
+        engine itself on exactly the input that already killed a worker.
+        """
+        backend_name, penalties, backtrace, strict, items = payload
+        start = time.perf_counter()
+        outcomes = [
+            _run_item_quarantined(
+                (backend_name, penalties, backtrace, strict, [item]),
+                self.config.chunk_timeout,
+            )
+            for item in items
+        ]
+        return os.getpid(), time.perf_counter() - start, outcomes, None
 
 
 def align_pairs(
@@ -360,6 +624,10 @@ def align_pairs(
     penalties: AffinePenalties = DEFAULT_PENALTIES,
     chunk_size: int = 16,
     cache_size: int = 4096,
+    strict: bool = False,
+    max_read_len: int | None = None,
+    chunk_timeout: float | None = 300.0,
+    max_chunk_retries: int = 1,
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`BatchAlignmentEngine`."""
     config = EngineConfig(
@@ -369,6 +637,10 @@ def align_pairs(
         penalties=penalties,
         backtrace=backtrace,
         cache_size=cache_size,
+        strict=strict,
+        max_read_len=max_read_len,
+        chunk_timeout=chunk_timeout,
+        max_chunk_retries=max_chunk_retries,
     )
     with BatchAlignmentEngine(config) as engine:
         return engine.align_batch(pairs)

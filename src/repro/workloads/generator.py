@@ -60,9 +60,14 @@ class SequencePair:
     errors_injected: int = 0
 
     def __post_init__(self) -> None:
+        # Case-fold on construction (same policy as the engine boundary)
+        # so lowercase FASTA-style input is served, not rejected.
         for name, seq in (("pattern", self.pattern), ("text", self.text)):
-            if not set(seq) <= set("ACGTN"):
+            folded = seq.upper()
+            if not set(folded) <= set("ACGTN"):
                 raise ValueError(f"{name} contains non-DNA characters")
+            if folded != seq:
+                object.__setattr__(self, name, folded)
 
     @property
     def max_length(self) -> int:

@@ -36,6 +36,17 @@ class TestConstruction:
         assert c.compact() == ""
         assert c.num_differences() == 0
 
+    def test_empty_roundtrip_and_falsiness(self):
+        # The empty CIGAR is a *valid* value distinct from "no CIGAR":
+        # it round-trips through the compact encoding and scores zero,
+        # but it is falsy — callers must test `is not None`, never
+        # truthiness, when deciding whether a backtrace was produced.
+        c = Cigar.from_compact("")
+        assert c.compact() == ""
+        assert not c
+        assert c is not None
+        assert c.counts() == {"M": 0, "X": 0, "I": 0, "D": 0}
+
 
 class TestAccounting:
     def test_counts(self):

@@ -230,3 +230,80 @@ class TestStats:
         empty = tmp_path / "e.seq"
         empty.write_text("")
         assert main(["stats", str(empty)]) == 1
+
+
+class TestBatchErrorChannel:
+    """CLI surface of the engine's fault-isolation contract."""
+
+    POISON = "GATTACAGATTACAGA"
+
+    @pytest.fixture()
+    def crashy_backend(self):
+        from repro.engine import AlignmentBackend, register_backend
+        from repro.engine.backends import _BACKENDS, PairOutcome
+
+        poison = self.POISON
+
+        class Crashy(AlignmentBackend):
+            name = "crashy"
+
+            def align_chunk(self, items, penalties, backtrace):
+                out = []
+                for slot, a, b in items:
+                    if a == poison:
+                        raise RuntimeError("injected CLI fault")
+                    out.append(PairOutcome(slot, score=0))
+                return out
+
+        register_backend(Crashy(), replace=True)
+        yield
+        _BACKENDS.pop("crashy", None)
+
+    @pytest.fixture()
+    def mixed_file(self, tmp_path):
+        out = tmp_path / "mixed.seq"
+        out.write_text(
+            f">ACGT\n<ACGT\n>{self.POISON}\n<{self.POISON}\n>AACC\n<AACC\n"
+        )
+        return str(out)
+
+    def test_errored_pairs_exit_nonzero(self, crashy_backend, mixed_file,
+                                        capsys):
+        assert main(["batch", mixed_file, "--backend", "crashy",
+                     "--format", "json", "-j", "1"]) == 1
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["summary"]["errors"] == 1
+        rows = doc["results"]
+        assert [r["ok"] for r in rows] == [True, False, True]
+        assert rows[1]["error_kind"] == "backend_error"
+        assert "injected CLI fault" in rows[1]["error_msg"]
+        assert rows[1]["success"] is False
+
+    def test_strict_fails_whole_batch(self, tmp_path, capsys):
+        bad = tmp_path / "n.seq"
+        # 'N' pairs are unsupported reads (a hardware answer), never an
+        # error: even --strict serves them with success=False, exit 0.
+        bad.write_text(">ACGN\n<ACGT\n")
+        assert main(["batch", str(bad), "--strict"]) == 0
+        capsys.readouterr()
+
+    def test_n_pairs_rejected_but_exit_zero(self, tmp_path, capsys):
+        seq = tmp_path / "n.seq"
+        seq.write_text(">ACGN\n<ACGT\n>ACGT\n<ACGT\n")
+        assert main(["batch", str(seq), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["summary"]["rejected"] == 1
+        assert doc["summary"]["errors"] == 0
+        n_row = doc["results"][0]
+        assert n_row["ok"] is True
+        assert n_row["success"] is False
+        assert n_row["error_kind"] == "unsupported_read"
+
+    def test_timeout_and_retry_flags(self, tmp_path, capsys):
+        seq = tmp_path / "t.seq"
+        seq.write_text(">ACGT\n<ACGT\n")
+        assert main(["batch", str(seq), "--timeout", "0",
+                     "--retries", "0"]) == 0
+        assert "errors=0 rejected=0 retries=0" in capsys.readouterr().out

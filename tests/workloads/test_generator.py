@@ -13,8 +13,13 @@ class TestSequencePair:
     def test_rejects_non_dna(self):
         with pytest.raises(ValueError):
             SequencePair(pattern="ACGZ", text="ACGT")
-        with pytest.raises(ValueError):
-            SequencePair(pattern="ACGT", text="acgt")
+
+    def test_folds_lowercase(self):
+        # Lowercase is case-folded on construction (the engine-boundary
+        # policy), so FASTA-style lowercase input is served, not rejected.
+        pair = SequencePair(pattern="acgt", text="AcGtN")
+        assert pair.pattern == "ACGT"
+        assert pair.text == "ACGTN"
 
     def test_allows_n(self):
         # 'N' bases are legal in inputs (the Extractor rejects them later).
