@@ -137,31 +137,47 @@ def measurements() -> dict[str, SetMeasurement]:
     return lazy
 
 
+REPO_ROOT = Path(__file__).parent.parent
 BENCH_JSON = RESULTS_DIR / "BENCH_pr2.json"
+BENCH_JSON_PR4 = RESULTS_DIR / "BENCH_pr4.json"
 
 
-@pytest.fixture(scope="session")
-def bench_json():
-    """Merge machine-readable results into ``results/BENCH_pr2.json``.
+def _bench_recorder(path: Path):
+    """A section recorder for one ``BENCH_*.json`` file.
 
     Each bench records a named section; sections from earlier runs are
     preserved so the fast and slow suites can fill the file piecemeal.
+    The canonical copy lives under ``benchmarks/results/`` and is
+    mirrored to the repository root after every write, so the root
+    ``BENCH_*.json`` files always hold the latest full document.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     data: dict = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
 
     def _record(section: str, payload: dict) -> None:
         data[section] = payload
-        BENCH_JSON.write_text(
-            json.dumps(data, indent=2, sort_keys=True) + "\n"
-        )
+        doc = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        path.write_text(doc)
+        (REPO_ROOT / path.name).write_text(doc)
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Merge machine-readable results into ``BENCH_pr2.json``."""
+    return _bench_recorder(BENCH_JSON)
+
+
+@pytest.fixture(scope="session")
+def bench_json_pr4():
+    """Merge machine-readable results into ``BENCH_pr4.json``."""
+    return _bench_recorder(BENCH_JSON_PR4)
 
 
 @pytest.fixture(scope="session")

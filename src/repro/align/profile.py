@@ -29,6 +29,7 @@ class StageStats:
     seconds: float = 0.0
 
     def add(self, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall-time over ``calls`` invocations."""
         self.calls += calls
         self.seconds += seconds
 
@@ -79,7 +80,31 @@ class StageProfiler:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-time summed over every stage."""
         return sum(s.seconds for s in self.stages.values())
+
+    def publish(self, registry, prefix: str = "engine", labels: dict | None = None) -> None:
+        """Publish the accumulated stages to a metrics registry.
+
+        Emits ``{prefix}_stage_seconds_total{stage=...}`` and
+        ``{prefix}_stage_calls_total{stage=...}`` counters on
+        ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`,
+        duck-typed so this low-level module imports nothing from
+        ``repro.obs``).  The profiler's own counters are untouched —
+        publishing is additive, which is what keeps
+        :meth:`as_dict`/``BatchReport.profile`` bit-identical to the
+        pre-registry behaviour (the differential test's invariant).
+        """
+        seconds = registry.counter(
+            f"{prefix}_stage_seconds_total", "Wall-time per stage"
+        )
+        calls = registry.counter(
+            f"{prefix}_stage_calls_total", "Invocations per stage"
+        )
+        for name, stats in self.stages.items():
+            stage_labels = {"stage": name, **(labels or {})}
+            seconds.inc(stats.seconds, stage_labels)
+            calls.inc(stats.calls, stage_labels)
 
     def as_dict(self) -> dict[str, dict]:
         """Picklable/JSON view: ``{stage: {"calls": n, "seconds": t}}``."""

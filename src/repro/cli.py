@@ -1,6 +1,6 @@
 """Command-line interface to the WFAsic reproduction.
 
-Six subcommands cover the common flows:
+Seven subcommands cover the common flows:
 
 * ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
   or custom length/error parameters);
@@ -8,12 +8,20 @@ Six subcommands cover the common flows:
   CPU baseline, printing scores/CIGARs and the cycle accounting;
 * ``batch`` — the parallel batch alignment engine: shard a ``.seq`` file
   (or a generated workload) across worker processes with result caching,
-  emitting JSON/TSV results plus throughput counters;
+  emitting JSON/TSV results plus throughput counters.  ``--trace``
+  writes a Perfetto-loadable Chrome trace of the run and ``--metrics``
+  a run manifest (config, git revision, dataset fingerprint, metrics
+  snapshot) — see ``docs/observability.md``;
+* ``metrics`` — pretty-print the metrics snapshot inside a manifest (or
+  a bare snapshot file) written by ``batch --metrics``;
 * ``report`` — the ASIC (§5.2) or FPGA (§5.3) physical summary of a
   configuration;
 * ``stats`` — summarise a ``.seq`` file (realised error profile) and
   run the Eq. 5 preflight against a configuration;
 * ``verify`` — a §5.1-style differential campaign.
+
+The README's command-reference section is generated from the parser by
+:func:`format_cli_reference` (``tests/test_cli.py`` pins the sync).
 
 Installed as ``repro-wfasic`` (see ``pyproject.toml``); also runnable as
 ``python -m repro.cli``.
@@ -24,10 +32,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import asdict
 from typing import Sequence
 
 from .align import DEFAULT_PENALTIES, AffinePenalties
 from .engine import BatchAlignmentEngine, EngineConfig, backend_names
+from .obs import (
+    MetricsRegistry,
+    RunManifest,
+    SchemaError,
+    Tracer,
+    format_metrics,
+    install_tracer,
+    set_registry,
+    validate_manifest,
+    validate_metrics_snapshot,
+)
 from .reporting import format_table
 from .soc import Soc
 from .verify import EquivalenceChecker
@@ -41,7 +61,7 @@ from .workloads import (
     write_seq_file,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "format_cli_reference"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--format", choices=("tsv", "json"), default="tsv")
     bat.add_argument(
         "-o", "--output", help="write results to this file (default stdout)"
+    )
+    bat.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace of the run",
+    )
+    bat.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a run manifest (config, git, dataset fingerprint, metrics)",
+    )
+
+    met = sub.add_parser(
+        "metrics", help="pretty-print a manifest's metrics snapshot"
+    )
+    met.add_argument("input", help="manifest (or bare snapshot) JSON path")
+    met.add_argument(
+        "--filter",
+        metavar="SUBSTRING",
+        default=None,
+        help="only show metrics whose name contains this substring",
     )
 
     rep = sub.add_parser("report", help="physical summary of a configuration")
@@ -253,6 +294,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid engine configuration: {exc}", file=sys.stderr)
         return 2
+
+    # Observability: a fresh registry scopes the snapshot to this run
+    # (the manifest's counters then reconcile exactly with the report);
+    # the tracer is process-wide while the batch runs, restored after.
+    if args.metrics or args.trace:
+        set_registry(MetricsRegistry())
+    tracer = previous_tracer = None
+    if args.trace:
+        tracer = Tracer()
+        previous_tracer = install_tracer(tracer)
     try:
         with BatchAlignmentEngine(config) as engine:
             result = engine.align_batch(pairs)
@@ -260,6 +311,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # Strict mode (or a type error) fails the whole batch up front.
         print(f"batch failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            install_tracer(previous_tracer)
+
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        source = (
+            args.input
+            if args.input is not None
+            else (
+                f"generated:length={args.generate},n={args.num_pairs},"
+                f"error={args.error_rate},seed={args.seed}"
+            )
+        )
+        manifest = RunManifest.for_run(
+            command=["repro-wfasic"] + list(getattr(args, "argv_", [])),
+            config=asdict(config),
+            pairs=pairs,
+            dataset_source=source,
+            seed=args.seed if args.input is None else None,
+            report=result.report.as_dict(),
+        )
+        manifest.write(args.metrics)
+        print(f"wrote run manifest to {args.metrics}", file=sys.stderr)
 
     rows = [
         {
@@ -299,6 +376,49 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # Per-pair fault isolation keeps the batch alive, but the exit code
     # still tells automation that some pairs errored.
     return 1 if result.report.errors else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    try:
+        with open(args.input, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (ValueError, UnicodeDecodeError) as exc:
+        print(f"cannot read metrics file: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(doc, dict) and doc.get("kind") == "run_manifest":
+        try:
+            validate_manifest(doc)
+        except SchemaError as exc:
+            print(f"invalid manifest: {exc}", file=sys.stderr)
+            return 1
+        run = doc["run"]
+        git = run.get("git") or {}
+        revision = git.get("revision", "unknown")[:12]
+        if git.get("dirty"):
+            revision += "+dirty"
+        dataset = run["dataset"]
+        print(f"command : {' '.join(run['command'])}")
+        print(
+            f"run     : revision {revision}, seed {run.get('seed')}, "
+            f"dataset {dataset['fingerprint'][:12]} "
+            f"({dataset['num_pairs']} pairs, {dataset['total_bases']} bases)"
+        )
+        snapshot = doc.get("metrics") or {}
+    else:
+        try:
+            validate_metrics_snapshot(doc)
+        except SchemaError as exc:
+            print(f"invalid metrics snapshot: {exc}", file=sys.stderr)
+            return 1
+        snapshot = doc
+    if args.filter:
+        snapshot = {
+            name: payload
+            for name, payload in snapshot.items()
+            if args.filter in name
+        }
+    print(format_metrics(snapshot))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -373,12 +493,79 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def format_cli_reference() -> str:
+    """Markdown reference for every subcommand, rendered from the parser.
+
+    The README embeds this between ``CLI-REFERENCE`` markers (see
+    ``tools/sync_readme.py``); ``tests/test_cli.py`` fails when the two
+    drift.  Rendering walks the parser's actions directly instead of
+    ``format_help()`` so the output is identical across Python versions
+    (argparse's help formatter changes between releases).
+    """
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    help_by_name = {a.dest: a.help for a in sub._choices_actions}
+    lines = [f"Commands of `{parser.prog}` (also `python -m repro.cli`):", ""]
+    for name, sub_parser in sub.choices.items():
+        lines.append(f"#### `{name}` — {help_by_name.get(name, '')}")
+        lines.append("")
+        lines.append("| argument | default | description |")
+        lines.append("| --- | --- | --- |")
+        for action in sub_parser._actions:
+            if action.dest == "help":
+                continue
+            lines.append(_format_action_row(action))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _format_action_row(action: argparse.Action) -> str:
+    """One markdown table row for one argparse action."""
+    if action.option_strings:
+        invocation = ", ".join(action.option_strings)
+        if action.nargs != 0:
+            invocation += f" {_action_metavar(action)}"
+    else:
+        invocation = _action_metavar(action)
+        if action.nargs == "?":
+            invocation = f"[{invocation}]"
+    if (
+        action.default is None
+        or action.default is False
+        or action.default is argparse.SUPPRESS
+    ):
+        default = "—"
+    else:
+        default = f"`{action.default}`"
+    description = action.help or ""
+    if action.choices is not None:
+        choices = ", ".join(f"`{c}`" for c in action.choices)
+        description = f"{description} (one of {choices})" if description else (
+            f"one of {choices}"
+        )
+    return f"| `{invocation}` | {default} | {description} |"
+
+
+def _action_metavar(action: argparse.Action) -> str:
+    if action.metavar is not None:
+        return action.metavar
+    if action.choices is not None:
+        return "CHOICE"
+    return (action.dest if not action.option_strings else action.dest.upper())
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    # The raw argv is recorded in run manifests (`batch --metrics`).
+    args.argv_ = argv
     handlers = {
         "generate": _cmd_generate,
         "align": _cmd_align,
         "batch": _cmd_batch,
+        "metrics": _cmd_metrics,
         "report": _cmd_report,
         "stats": _cmd_stats,
         "verify": _cmd_verify,

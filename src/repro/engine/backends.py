@@ -121,6 +121,11 @@ class AlignmentBackend:
         penalties: AffinePenalties,
         backtrace: bool,
     ) -> list[PairOutcome]:
+        """Align one chunk of ``(slot, pattern, text)`` work items.
+
+        Returns one :class:`PairOutcome` per item (any order); the
+        engine maps outcomes back to input positions via ``slot``.
+        """
         raise NotImplementedError
 
     def align_chunk_profiled(
@@ -267,6 +272,8 @@ class WfasicBackend(AlignmentBackend):
         backtrace: bool,
     ) -> list[PairOutcome]:
         # Imported lazily to keep the software backends import-light.
+        from ..obs.publish import publish_accelerator_batch
+        from ..obs.trace import get_tracer
         from ..wfasic.accelerator import WfasicAccelerator
         from ..wfasic.backtrace_cpu import CpuBacktracer
         from ..wfasic.config import WfasicConfig
@@ -284,7 +291,14 @@ class WfasicBackend(AlignmentBackend):
             cfg.max_read_len,
         )
         image = encode_input_image(pairs, max_read_len)
+        tracer = get_tracer()
+        base_us = tracer.now_us() if tracer is not None else None
         batch = WfasicAccelerator(cfg).run_image(image, max_read_len)
+        # Publish the simulated batch: per-stage cycle counters in the
+        # registry, and (when tracing) the Extractor/Aligner/Collector
+        # schedule mapped onto the cycle timeline, anchored where the
+        # simulation began on the wall clock.
+        publish_accelerator_batch(batch, base_us=base_us)
 
         scores = {r.alignment_id: r.score for r in batch.runs}
         success = {r.alignment_id: r.success for r in batch.runs}

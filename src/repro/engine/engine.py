@@ -36,11 +36,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 
 from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
 from ..align.profile import StageProfiler, format_profile
 from ..metrics.cups import gcups, swg_equivalent_cells
+from ..obs.metrics import get_registry
+from ..obs.publish import publish_batch_report
+from ..obs.trace import get_tracer
 from ..workloads.generator import SequencePair
 from .backends import (
     AlignmentBackend,
@@ -187,6 +191,7 @@ class BatchReport:
 
     @property
     def pairs_per_second(self) -> float:
+        """Pairs served per wall-clock second."""
         return self.num_pairs / max(self.elapsed_seconds, 1e-9)
 
     @property
@@ -196,6 +201,7 @@ class BatchReport:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of submitted pairs served from the LRU cache."""
         return self.cache_hits / self.num_pairs if self.num_pairs else 0.0
 
     @property
@@ -236,6 +242,7 @@ class BatchReport:
             "errors": self.errors,
             "rejected": self.rejected,
             "retries": self.retries,
+            "swg_cells": self.swg_cells,
             "elapsed_seconds": self.elapsed_seconds,
             "pairs_per_second": self.pairs_per_second,
             "gcups": self.gcups,
@@ -258,6 +265,7 @@ class EngineResult:
 
     @property
     def scores(self) -> list[int]:
+        """Alignment scores in input order."""
         return [o.score for o in self.outcomes]
 
 
@@ -289,9 +297,14 @@ def _run_items_isolated(
     return outcomes
 
 
-def _run_chunk(
-    payload: ChunkPayload,
-) -> tuple[int, float, list[PairOutcome], dict | None]:
+#: What comes back per chunk: worker OS pid, the ``perf_counter`` stamp
+#: when the chunk started (comparable across processes on Linux, where
+#: ``perf_counter`` is the system-wide ``CLOCK_MONOTONIC``), the busy
+#: seconds, the outcomes and the backend's optional stage profile.
+ChunkResult = tuple[int, float, float, list[PairOutcome], "dict | None"]
+
+
+def _run_chunk(payload: ChunkPayload) -> ChunkResult:
     """Worker-side chunk execution (must stay module-level: picklable).
 
     The whole chunk is tried first (one kernel dispatch, the fast path);
@@ -311,12 +324,12 @@ def _run_chunk(
             raise
         outcomes = _run_items_isolated(backend, items, penalties, backtrace)
         profile = None
-    return os.getpid(), time.perf_counter() - start, outcomes, profile
+    return os.getpid(), start, time.perf_counter() - start, outcomes, profile
 
 
 def _quarantine_entry(payload: ChunkPayload, queue) -> None:
     """Entry point of a quarantine process: one pair, result via queue."""
-    _, _, outcomes, _ = _run_chunk(payload)
+    _, _, _, outcomes, _ = _run_chunk(payload)
     queue.put(outcomes)
 
 
@@ -359,6 +372,14 @@ def _run_item_quarantined(
             proc.terminate()
             proc.join()
         result_queue.close()
+
+
+@contextmanager
+def _timed(prof: StageProfiler, tracer, name: str):
+    """Time a block into the profiler and, when tracing, as a span."""
+    span = tracer.span(name, "engine") if tracer is not None else nullcontext()
+    with span, prof.stage(name):
+        yield
 
 
 def _as_sequences(pair) -> tuple[str, str]:
@@ -423,6 +444,8 @@ class BatchAlignmentEngine:
         cfg = self.config
         start = time.perf_counter()
         prof = StageProfiler()
+        tracer = get_tracer()
+        batch_start_us = tracer.now_us() if tracer is not None else 0.0
 
         outcomes: list[PairOutcome | None] = [None] * len(pairs)
         cache_hits = 0
@@ -432,7 +455,7 @@ class BatchAlignmentEngine:
         sequences: list[tuple[str, str]] = []
 
         # 0/1/2 -- validate + normalize, cache resolve, coalescing.
-        with prof.stage("resolve"):
+        with _timed(prof, tracer, "resolve"):
             for idx, pair in enumerate(pairs):
                 pattern, text = normalize_pair(idx, *_as_sequences(pair))
                 sequences.append((pattern, text))
@@ -469,7 +492,7 @@ class BatchAlignmentEngine:
 
         # 3 -- chunked dispatch (fault-tolerant on the parallel path).
         worker_stats: dict[int, WorkerStats] = {}
-        chunk_results: list[tuple[int, float, list[PairOutcome], dict | None]] = []
+        chunk_results: list[ChunkResult] = []
         retries = 0
         if work_items:
             chunks = [
@@ -486,22 +509,48 @@ class BatchAlignmentEngine:
             else:
                 chunk_results, retries = self._dispatch_parallel(payloads)
             dispatch_wall = time.perf_counter() - dispatch_start
-            busy_total = sum(busy for _, busy, _, _ in chunk_results)
+            busy_total = sum(busy for _, _, busy, _, _ in chunk_results)
             prof.add("dispatch", dispatch_wall, calls=len(payloads))
             # IPC/queueing: dispatch wall-time not accounted to any worker.
             # With workers=1 the chunk runs in-process, so this is ~0.
             prof.add(
                 "ipc", max(0.0, dispatch_wall - busy_total), calls=len(payloads)
             )
+            if tracer is not None:
+                tracer.complete(
+                    "dispatch",
+                    "engine",
+                    tracer.perf_to_us(dispatch_start),
+                    dispatch_wall * 1e6,
+                    args={"chunks": len(payloads), "backend": cfg.backend},
+                )
 
         # 4 -- gather, fill the cache, fan results out to duplicates.
-        with prof.stage("gather"):
-            for worker_id, busy, chunk_outcomes, chunk_profile in chunk_results:
+        worker_lanes: dict[int, int] = {}
+        with _timed(prof, tracer, "gather"):
+            for worker_id, chunk_start, busy, chunk_outcomes, chunk_profile in (
+                chunk_results
+            ):
                 stats = worker_stats.setdefault(worker_id, WorkerStats(worker_id))
                 stats.chunks += 1
                 stats.pairs += len(chunk_outcomes)
                 stats.busy_seconds += busy
                 prof.merge(chunk_profile)
+                if tracer is not None:
+                    lane = worker_lanes.setdefault(worker_id, len(worker_lanes) + 1)
+                    tracer.name_thread(1, lane, f"worker {worker_id}")
+                    tracer.complete(
+                        f"chunk ({len(chunk_outcomes)} pairs)",
+                        "engine:chunk",
+                        tracer.perf_to_us(chunk_start),
+                        busy * 1e6,
+                        tid=lane,
+                        args={
+                            "pairs": len(chunk_outcomes),
+                            "backend": cfg.backend,
+                            "worker_pid": worker_id,
+                        },
+                    )
                 for outcome in chunk_outcomes:
                     key = keys_in_order[outcome.slot]
                     self.cache.put_outcome(key, outcome)
@@ -531,13 +580,32 @@ class BatchAlignmentEngine:
             worker_stats=sorted(worker_stats.values(), key=lambda w: w.worker_id),
             profile=prof.as_dict(),
         )
+        # Publish through the observability layer: counters reconcile
+        # field-for-field with the report, and the batch becomes one
+        # span on the trace timeline.
+        registry = get_registry()
+        publish_batch_report(report, registry)
+        prof.publish(registry, "engine", {"backend": cfg.backend})
+        if tracer is not None:
+            tracer.complete(
+                "batch",
+                "engine",
+                batch_start_us,
+                elapsed * 1e6,
+                args={
+                    "backend": cfg.backend,
+                    "pairs": report.num_pairs,
+                    "cache_hits": report.cache_hits,
+                    "errors": report.errors,
+                },
+            )
         return EngineResult(outcomes=list(outcomes), report=report)
 
     # -- fault-tolerant parallel dispatch ------------------------------
 
     def _dispatch_parallel(
         self, payloads: list[ChunkPayload]
-    ) -> tuple[list[tuple[int, float, list[PairOutcome], dict | None]], int]:
+    ) -> tuple[list[ChunkResult], int]:
         """Run chunks on the pool, surviving timeouts and worker death.
 
         Every chunk is submitted up front; each is then gathered with
@@ -553,7 +621,7 @@ class BatchAlignmentEngine:
         """
         cfg = self.config
         retries = 0
-        results: list[tuple[int, float, list[PairOutcome], dict | None]] = []
+        results: list[ChunkResult] = []
         try:
             pool = self._ensure_pool()
         except OSError:
@@ -593,7 +661,7 @@ class BatchAlignmentEngine:
 
     def _degrade_chunk(
         self, payload: ChunkPayload, timed_out: bool
-    ) -> tuple[int, float, list[PairOutcome], dict | None]:
+    ) -> ChunkResult:
         """Last resort for a chunk the pool kept losing.
 
         The chunk is replayed pair-at-a-time, each pair in its own
@@ -612,7 +680,7 @@ class BatchAlignmentEngine:
             )
             for item in items
         ]
-        return os.getpid(), time.perf_counter() - start, outcomes, None
+        return os.getpid(), start, time.perf_counter() - start, outcomes, None
 
 
 def align_pairs(

@@ -1,0 +1,88 @@
+"""Unified observability: metrics, traces and run manifests.
+
+The paper's evaluation currency is cycle counts and per-stage occupancy
+(§5, §6); this package is the software analogue — a single layer every
+subsystem reports through, so "where do the cycles/seconds go" has one
+answer instead of a per-module dict.  Three artefact families:
+
+* :mod:`repro.obs.metrics` — a process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  histograms, labels) with associative snapshot/merge for
+  multiprocessing workers;
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` emitting
+  Chrome-trace-event JSON (Perfetto-loadable) that carries both
+  wall-clock engine spans and the accelerator's simulated-cycle
+  schedule on one timeline;
+* :mod:`repro.obs.manifest` — a :class:`~repro.obs.manifest.RunManifest`
+  (command, config, git revision, seed, dataset fingerprint, metrics
+  snapshot) written alongside batch and benchmark runs.
+
+Emission sites call the helpers in :mod:`repro.obs.publish`; the JSON
+contracts live in :mod:`repro.obs.schema`; the full metric/trace/
+manifest vocabulary is documented in ``docs/observability.md``.  The
+CLI surface is ``repro-wfasic batch --trace out.json --metrics
+metrics.json`` and ``repro-wfasic metrics`` (the pretty-printer).
+"""
+
+from .manifest import RunManifest, dataset_fingerprint, git_revision, load_manifest
+from .metrics import (
+    MetricsRegistry,
+    format_metrics,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+from .publish import (
+    publish_accelerator_batch,
+    publish_asic_report,
+    publish_batch_report,
+    publish_cpu_cycles,
+)
+from .schema import (
+    MANIFEST_SCHEMA,
+    TRACE_EVENT_SCHEMA,
+    SchemaError,
+    validate,
+    validate_manifest,
+    validate_metrics_snapshot,
+    validate_trace_document,
+    validate_trace_event,
+)
+from .trace import (
+    COLLECTOR_TID,
+    ENGINE_PID,
+    WFASIC_PID,
+    Tracer,
+    get_tracer,
+    install_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "merge_snapshots",
+    "format_metrics",
+    "Tracer",
+    "get_tracer",
+    "install_tracer",
+    "ENGINE_PID",
+    "WFASIC_PID",
+    "COLLECTOR_TID",
+    "RunManifest",
+    "dataset_fingerprint",
+    "git_revision",
+    "load_manifest",
+    "publish_batch_report",
+    "publish_accelerator_batch",
+    "publish_cpu_cycles",
+    "publish_asic_report",
+    "SchemaError",
+    "validate",
+    "validate_trace_event",
+    "validate_trace_document",
+    "validate_metrics_snapshot",
+    "validate_manifest",
+    "TRACE_EVENT_SCHEMA",
+    "MANIFEST_SCHEMA",
+]

@@ -1,0 +1,180 @@
+"""Run manifests: a machine-readable record of every run.
+
+A :class:`RunManifest` captures what the paper's methodology section
+captures in prose — *what exactly ran* (command, configuration, git
+revision), *on what data* (a SHA-256 dataset fingerprint, so two runs
+can be proven to have aligned the same pairs), and *what it measured*
+(the metrics snapshot, plus the engine's batch report) — in one JSON
+document validated against :data:`repro.obs.schema.MANIFEST_SCHEMA`.
+
+``repro-wfasic batch --metrics out.json`` writes one per run, and the
+benchmark suite writes one next to each ``BENCH_*.json`` it produces,
+so every number in the bench trajectory is traceable to a revision,
+seed and input fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .schema import validate_manifest
+
+__all__ = [
+    "RunManifest",
+    "dataset_fingerprint",
+    "git_revision",
+    "load_manifest",
+]
+
+#: Manifest schema version (bump on breaking field changes).
+SCHEMA_VERSION = 1
+
+
+def dataset_fingerprint(pairs) -> tuple[str, int, int]:
+    """Fingerprint a workload: (sha256 hex, num_pairs, total_bases).
+
+    ``pairs`` may hold :class:`~repro.workloads.generator.SequencePair`
+    objects or plain ``(pattern, text)`` tuples.  The digest covers
+    every base of every pair in order, with separators so boundary
+    shifts change the hash.
+    """
+    digest = hashlib.sha256()
+    num_pairs = 0
+    total_bases = 0
+    for pair in pairs:
+        if hasattr(pair, "pattern"):
+            pattern, text = pair.pattern, pair.text
+        else:
+            pattern, text = pair
+        digest.update(pattern.encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(text.encode("ascii"))
+        digest.update(b"\x01")
+        num_pairs += 1
+        total_bases += len(pattern) + len(text)
+    return digest.hexdigest(), num_pairs, total_bases
+
+
+def git_revision(repo_root=None) -> dict | None:
+    """The current git revision and dirty flag, or ``None`` outside git.
+
+    Never raises: a missing ``git`` binary or a non-repository directory
+    degrades to ``None`` so manifests can be written anywhere.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if rev.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return {
+            "revision": rev.stdout.strip(),
+            "dirty": bool(status.stdout.strip()),
+        }
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+@dataclass
+class RunManifest:
+    """One run's identity, inputs and measurements (see module docs)."""
+
+    command: list[str]
+    config: dict
+    dataset: dict
+    seed: int | None = None
+    git: dict | None = None
+    report: dict | None = None
+    metrics: dict = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+    tool_version: str = "1.0.0"
+
+    @classmethod
+    def for_run(
+        cls,
+        *,
+        command,
+        config: dict,
+        pairs,
+        dataset_source: str,
+        seed: int | None = None,
+        report: dict | None = None,
+        metrics: dict | None = None,
+        repo_root=None,
+    ) -> "RunManifest":
+        """Build a manifest for a batch/benchmark run.
+
+        ``pairs`` is fingerprinted; ``dataset_source`` names where they
+        came from (a ``.seq`` path or a ``generated:`` spec); ``report``
+        is the JSON view of the run's summary (e.g.
+        :meth:`BatchReport.as_dict`); ``metrics`` defaults to the
+        process-default registry's snapshot.
+        """
+        fingerprint, num_pairs, total_bases = dataset_fingerprint(pairs)
+        if metrics is None:
+            from .metrics import get_registry
+
+            metrics = get_registry().snapshot()
+        return cls(
+            command=[str(part) for part in command],
+            config=config,
+            dataset={
+                "source": dataset_source,
+                "num_pairs": num_pairs,
+                "fingerprint": fingerprint,
+                "total_bases": total_bases,
+            },
+            seed=seed,
+            git=git_revision(repo_root),
+            report=report,
+            metrics=metrics,
+        )
+
+    def as_dict(self) -> dict:
+        """The schema-valid JSON document."""
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "run_manifest",
+            "created_unix": self.created_unix,
+            "tool": {"name": "repro-wfasic", "version": self.tool_version},
+            "run": {
+                "command": self.command,
+                "config": self.config,
+                "seed": self.seed,
+                "git": self.git,
+                "dataset": self.dataset,
+            },
+            "report": self.report,
+            "metrics": self.metrics,
+        }
+        validate_manifest(doc)
+        return doc
+
+    def write(self, path) -> dict:
+        """Validate and serialise the manifest; returns the document."""
+        doc = self.as_dict()
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return doc
+
+
+def load_manifest(path) -> dict:
+    """Read and validate a manifest written by :meth:`RunManifest.write`."""
+    doc = json.loads(Path(path).read_text())
+    validate_manifest(doc)
+    return doc

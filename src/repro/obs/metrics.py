@@ -1,0 +1,360 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The paper's whole evaluation is an exercise in *accounting* — cycles per
+stage (Table 1), occupancy per aligner (Fig. 10), backtrace bandwidth
+(§4.1) — and before this module that accounting was scattered across
+``StageProfiler`` dicts, ``BatchReport`` fields and ad-hoc attributes.
+:class:`MetricsRegistry` is the single place every subsystem publishes
+to: the engine (``engine_*``), the accelerator simulator (``wfasic_*``)
+and the Sargantana CPU model (``soc_cpu_*``).  The full metric
+vocabulary is documented in ``docs/observability.md``.
+
+Three metric types, all label-aware:
+
+* **counter** — a monotonically increasing total (``inc``),
+* **gauge** — a point-in-time value (``set``),
+* **histogram** — a distribution (``observe``) with fixed buckets plus
+  count/sum/min/max.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-friendly
+dicts, and :func:`merge_snapshots` folds any number of them together —
+counters and histograms add, gauges keep the last-written value.  The
+merge is **associative and commutative** for counters/histograms, which
+is what lets multiprocessing workers snapshot their private registries
+and ship them to the parent in any order (the property
+``tests/obs/test_metrics.py`` pins).
+
+A process-wide default registry is reachable through
+:func:`get_registry`; instrumentation throughout the repository
+publishes there unconditionally (the cost is a dict update), and the
+CLI decides whether to serialise it (``repro-wfasic batch --metrics``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "merge_snapshots",
+    "format_metrics",
+]
+
+#: Histogram bucket upper bounds used when none are given: wall-time
+#: seconds from 100 us to ~2 minutes, a decade-and-a-half per step.
+DEFAULT_BUCKETS = (
+    1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2,
+    0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0,
+)
+
+#: Canonical series key for a label mapping: sorted ``(key, value)``s.
+LabelKey = tuple
+
+
+def _label_key(labels: dict | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _key_labels(key: LabelKey) -> dict:
+    return {k: v for k, v in key}
+
+
+class _Metric:
+    """Shared bookkeeping of one named metric across its label series."""
+
+    kind = "?"
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self.series: dict[LabelKey, object] = {}
+
+    def _series_value(self, value) -> object:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, e.g. ``engine_pairs_total``."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, labels: dict | None = None) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0) + amount
+
+    def value(self, labels: dict | None = None) -> float:
+        """Current total of the labelled series (0 if never incremented)."""
+        return self.series.get(_label_key(labels), 0)
+
+
+class Gauge(_Metric):
+    """A point-in-time value, e.g. ``wfasic_asic_area_mm2``."""
+
+    kind = "gauge"
+
+    def set(self, value: float, labels: dict | None = None) -> None:
+        """Overwrite the labelled series with ``value``."""
+        self.series[_label_key(labels)] = value
+
+    def value(self, labels: dict | None = None) -> float:
+        """Current value of the labelled series (0 if never set)."""
+        return self.series.get(_label_key(labels), 0)
+
+
+@dataclass
+class HistogramState:
+    """Accumulated distribution of one histogram series."""
+
+    buckets: tuple
+    counts: list = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            # One slot per finite bucket plus the +Inf overflow slot.
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Histogram(_Metric):
+    """A bucketed distribution, e.g. ``engine_batch_seconds``."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, buckets: tuple = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(buckets)
+
+    def observe(self, value: float, labels: dict | None = None) -> None:
+        """Record one sample into the labelled series."""
+        key = _label_key(labels)
+        state = self.series.get(key)
+        if state is None:
+            state = self.series[key] = HistogramState(self.buckets)
+        state.observe(value)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/merge semantics.
+
+    Metric handles are created on first use (``counter``/``gauge``/
+    ``histogram``) and re-returned on every later call with the same
+    name; re-registering a name as a different type raises.  All
+    mutation goes through a lock so worker threads can share one
+    registry; worker *processes* keep their own and ship snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- handle creation ------------------------------------------------
+
+    def _get(self, name: str, cls, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram, help, buckets=buckets)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of every metric and series.
+
+        Shape (documented in ``docs/observability.md`` and validated by
+        ``repro.obs.schema.validate_metrics_snapshot``)::
+
+            {metric_name: {"type": ..., "help": ...,
+                           "series": [{"labels": {...}, "value": ...}]}}
+
+        Histogram series values are
+        ``{"count", "sum", "min", "max", "buckets", "counts"}`` where
+        ``counts[i]`` is the number of samples in ``(buckets[i-1],
+        buckets[i]]`` and the final slot is the +Inf overflow.
+        """
+        out: dict = {}
+        with self._lock:
+            for name, metric in sorted(self._metrics.items()):
+                series = []
+                for key, value in sorted(metric.series.items()):
+                    if isinstance(value, HistogramState):
+                        payload = {
+                            "count": value.count,
+                            "sum": value.sum,
+                            "min": value.min,
+                            "max": value.max,
+                            "buckets": list(value.buckets),
+                            "counts": list(value.counts),
+                        }
+                    else:
+                        payload = value
+                    series.append({"labels": _key_labels(key), "value": payload})
+                out[name] = {
+                    "type": metric.kind,
+                    "help": metric.help,
+                    "series": series,
+                }
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` payload into this registry.
+
+        Counters and histogram series add; gauges take the incoming
+        value (last write wins).  Unknown metric names are created with
+        the snapshot's type and help text.
+        """
+        for name, doc in snapshot.items():
+            kind = doc.get("type")
+            for entry in doc.get("series", []):
+                labels = entry.get("labels") or None
+                value = entry["value"]
+                if kind == "counter":
+                    self.counter(name, doc.get("help", "")).inc(value, labels)
+                elif kind == "gauge":
+                    self.gauge(name, doc.get("help", "")).set(value, labels)
+                elif kind == "histogram":
+                    self._merge_histogram_series(name, doc, labels, value)
+                else:
+                    raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+
+    def _merge_histogram_series(
+        self, name: str, doc: dict, labels: dict | None, value: dict
+    ) -> None:
+        hist = self.histogram(
+            name, doc.get("help", ""), buckets=tuple(value["buckets"])
+        )
+        if hist.buckets != tuple(value["buckets"]):
+            raise ValueError(f"histogram {name!r} bucket layouts differ")
+        key = _label_key(labels)
+        state = hist.series.get(key)
+        if state is None:
+            state = hist.series[key] = HistogramState(hist.buckets)
+        state.count += value["count"]
+        state.sum += value["sum"]
+        for i, c in enumerate(value["counts"]):
+            state.counts[i] += c
+        for bound, pick in (("min", min), ("max", max)):
+            incoming = value[bound]
+            if incoming is not None:
+                current = getattr(state, bound)
+                setattr(
+                    state,
+                    bound,
+                    incoming if current is None else pick(current, incoming),
+                )
+
+    def clear(self) -> None:
+        """Drop every metric (tests and long-lived processes)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge snapshot dicts into one (associative, see module docs)."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge_snapshot(snap)
+    return registry.snapshot()
+
+
+#: The process-wide default registry all instrumentation publishes to.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Human-readable table of a metrics snapshot (the CLI footer).
+
+    One line per series: name, labels, and either the scalar value or a
+    ``count/sum/mean`` summary for histograms.
+    """
+    if not snapshot:
+        return "metrics: (none recorded)"
+    rows: list[str] = []
+    width = max(
+        (
+            len(_series_label(name, entry))
+            for name, doc in snapshot.items()
+            for entry in doc["series"]
+        ),
+        default=0,
+    )
+    for name, doc in sorted(snapshot.items()):
+        for entry in doc["series"]:
+            label = _series_label(name, entry)
+            value = entry["value"]
+            if doc["type"] == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                text = (
+                    f"count={value['count']} sum={value['sum']:.4f} "
+                    f"mean={mean:.4f}"
+                )
+            elif isinstance(value, float):
+                text = f"{value:.4f}".rstrip("0").rstrip(".")
+            else:
+                text = str(value)
+            rows.append(f"{label:<{width}}  {text}")
+    return "\n".join(rows)
+
+
+def _series_label(name: str, entry: dict) -> str:
+    labels = entry.get("labels") or {}
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"

@@ -1,0 +1,278 @@
+"""Documented JSON schemas for everything the observability layer emits.
+
+Three artefact families leave the process as JSON — trace events
+(:mod:`repro.obs.trace`), metrics snapshots (:mod:`repro.obs.metrics`)
+and run manifests (:mod:`repro.obs.manifest`) — and each has a schema
+here, written in a (deliberately small) subset of JSON Schema and
+enforced by :func:`validate`, a dependency-free validator.  The schemas
+are the contract ``docs/observability.md`` documents and
+``tests/obs/`` pins: every event a :class:`~repro.obs.trace.Tracer`
+records must validate, and every manifest the CLI or the benchmarks
+write must validate before it is written.
+
+Supported schema keywords: ``type`` (with ``"number"`` accepting ints),
+``required``, ``properties``, ``additionalProperties`` (schema form),
+``items``, ``enum``, ``minimum``.  That subset is all these formats
+need; anything fancier belongs in a real dependency, which the
+repository deliberately avoids.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchemaError",
+    "validate",
+    "TRACE_EVENT_SCHEMA",
+    "TRACE_DOCUMENT_SCHEMA",
+    "METRIC_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "validate_trace_event",
+    "validate_trace_document",
+    "validate_metrics_snapshot",
+    "validate_manifest",
+]
+
+
+class SchemaError(ValueError):
+    """A document does not match its schema; ``path`` locates the fault."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path or "$"
+        super().__init__(f"{self.path}: {message}")
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected: str, path: str) -> None:
+    if expected == "number":
+        # bool is an int subclass; a bare True is not a number here.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(path, f"expected number, got {type(value).__name__}")
+        return
+    if expected == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(path, f"expected integer, got {type(value).__name__}")
+        return
+    cls = _TYPES[expected]
+    if expected == "boolean":
+        if not isinstance(value, bool):
+            raise SchemaError(path, f"expected boolean, got {type(value).__name__}")
+        return
+    if not isinstance(value, cls) or (
+        cls is dict and isinstance(value, bool)
+    ):
+        raise SchemaError(path, f"expected {expected}, got {type(value).__name__}")
+
+
+def validate(value, schema: dict, path: str = "$") -> None:
+    """Validate ``value`` against a schema; raise :class:`SchemaError`.
+
+    Returns ``None`` on success — validation is a gate, not a parse.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        if isinstance(expected, list):
+            for candidate in expected:
+                try:
+                    _check_type(value, candidate, path)
+                    break
+                except SchemaError:
+                    continue
+            else:
+                raise SchemaError(
+                    path, f"expected one of {expected}, got {type(value).__name__}"
+                )
+        else:
+            _check_type(value, expected, path)
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(path, f"{value!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            raise SchemaError(path, f"{value!r} < minimum {schema['minimum']!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise SchemaError(path, f"missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    validate(item, extra, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+#: One Chrome trace event.  ``X`` spans carry ``dur``; metadata (``M``),
+#: instants (``i``) and counters (``C``) do not.
+TRACE_EVENT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["ph", "name", "pid", "tid", "ts"],
+    "properties": {
+        "ph": {"type": "string", "enum": ["X", "M", "i", "C", "B", "E"]},
+        "name": {"type": "string"},
+        "cat": {"type": "string"},
+        "pid": {"type": "integer", "minimum": 0},
+        "tid": {"type": "integer", "minimum": 0},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "s": {"type": "string", "enum": ["t", "p", "g"]},
+        "args": {"type": "object"},
+    },
+}
+
+#: The whole trace file (what ``Tracer.write`` produces).
+TRACE_DOCUMENT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {"type": "array", "items": TRACE_EVENT_SCHEMA},
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+}
+
+#: One metric entry of a :meth:`MetricsRegistry.snapshot` payload.
+METRIC_SCHEMA: dict = {
+    "type": "object",
+    "required": ["type", "series"],
+    "properties": {
+        "type": {"type": "string", "enum": ["counter", "gauge", "histogram"]},
+        "help": {"type": "string"},
+        "series": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["labels", "value"],
+                "properties": {
+                    "labels": {
+                        "type": "object",
+                        "additionalProperties": {"type": "string"},
+                    },
+                    # Scalar for counter/gauge, histogram state otherwise;
+                    # the histogram shape is checked by the snapshot
+                    # validator below.
+                },
+            },
+        },
+    },
+}
+
+_HISTOGRAM_VALUE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["count", "sum", "buckets", "counts"],
+    "properties": {
+        "count": {"type": "integer", "minimum": 0},
+        "sum": {"type": "number"},
+        "min": {"type": ["number", "null"]},
+        "max": {"type": ["number", "null"]},
+        "buckets": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer"}},
+    },
+}
+
+#: The run manifest (``docs/observability.md`` documents every field).
+MANIFEST_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "schema_version",
+        "kind",
+        "created_unix",
+        "tool",
+        "run",
+        "metrics",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [1]},
+        "kind": {"type": "string", "enum": ["run_manifest"]},
+        "created_unix": {"type": "number", "minimum": 0},
+        "tool": {
+            "type": "object",
+            "required": ["name", "version"],
+            "properties": {
+                "name": {"type": "string"},
+                "version": {"type": "string"},
+            },
+        },
+        "run": {
+            "type": "object",
+            "required": ["command", "config", "seed", "dataset"],
+            "properties": {
+                "command": {"type": "array", "items": {"type": "string"}},
+                "config": {"type": "object"},
+                "seed": {"type": ["integer", "null"]},
+                "git": {
+                    "type": ["object", "null"],
+                    "required": ["revision", "dirty"],
+                    "properties": {
+                        "revision": {"type": "string"},
+                        "dirty": {"type": "boolean"},
+                    },
+                },
+                "dataset": {
+                    "type": "object",
+                    "required": ["source", "num_pairs", "fingerprint"],
+                    "properties": {
+                        "source": {"type": "string"},
+                        "num_pairs": {"type": "integer", "minimum": 0},
+                        "fingerprint": {"type": "string"},
+                        "total_bases": {"type": "integer", "minimum": 0},
+                    },
+                },
+            },
+        },
+        "report": {"type": ["object", "null"]},
+        "metrics": {"type": "object", "additionalProperties": METRIC_SCHEMA},
+    },
+}
+
+
+def validate_trace_event(event: dict) -> None:
+    """Gate one trace event (raises :class:`SchemaError`)."""
+    validate(event, TRACE_EVENT_SCHEMA)
+    if event["ph"] == "X" and "dur" not in event:
+        raise SchemaError("$", "complete ('X') events require 'dur'")
+
+
+def validate_trace_document(doc: dict) -> None:
+    """Gate a whole trace file, event by event."""
+    validate(doc, TRACE_DOCUMENT_SCHEMA)
+    for i, event in enumerate(doc["traceEvents"]):
+        if event["ph"] == "X" and "dur" not in event:
+            raise SchemaError(f"$.traceEvents[{i}]", "'X' events require 'dur'")
+
+
+def validate_metrics_snapshot(snapshot: dict) -> None:
+    """Gate a metrics snapshot, including histogram series shapes."""
+    validate(
+        snapshot, {"type": "object", "additionalProperties": METRIC_SCHEMA}
+    )
+    for name, doc in snapshot.items():
+        for i, entry in enumerate(doc["series"]):
+            value = entry["value"]
+            path = f"$.{name}.series[{i}].value"
+            if doc["type"] == "histogram":
+                validate(value, _HISTOGRAM_VALUE_SCHEMA, path)
+                if len(value["counts"]) != len(value["buckets"]) + 1:
+                    raise SchemaError(
+                        path, "counts must have len(buckets) + 1 slots"
+                    )
+            else:
+                validate(value, {"type": "number"}, path)
+
+
+def validate_manifest(doc: dict) -> None:
+    """Gate a run manifest, including its embedded metrics snapshot."""
+    validate(doc, MANIFEST_SCHEMA)
+    validate_metrics_snapshot(doc["metrics"])

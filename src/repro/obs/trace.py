@@ -1,0 +1,283 @@
+"""Chrome-trace-event export: one timeline for engine and simulator.
+
+:class:`Tracer` records spans in the `Chrome trace event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(the ``traceEvents`` JSON array), which Perfetto (https://ui.perfetto.dev)
+and ``chrome://tracing`` load directly.  Two kinds of time coexist on the
+one timeline:
+
+* **wall-clock spans** — engine work measured with ``time.perf_counter``
+  (batch, resolve, dispatch, gather, per-chunk worker execution).  On
+  Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is system-wide,
+  so worker processes can stamp spans that line up with the parent's.
+* **simulated-cycle spans** — the accelerator's per-batch schedule
+  (Extractor reads, per-Aligner alignments with their Compute/Extend
+  split, the Collector output drain), mapped onto microseconds at a
+  stated clock (the §5.2 1.1 GHz by default) via
+  :meth:`Tracer.cycle_span`.  They land in a separate trace *process*
+  ("WFAsic (simulated cycles)") so the two time domains are visually
+  distinct but zoomable side by side.
+
+Track layout (``pid``/``tid`` in trace-event terms):
+
+* pid ``1`` — the engine: tid ``0`` is the orchestrating batch loop,
+  tids ``>= 1`` are one lane per worker OS pid.
+* pid ``2`` — the simulated accelerator: tid ``0`` the Extractor/input
+  path, tids ``1 + i`` Aligner ``i``, tid ``999`` the Collector/output
+  path.
+
+Every event the tracer emits validates against
+``repro.obs.schema.TRACE_EVENT_SCHEMA`` (pinned by
+``tests/obs/test_trace.py``).  A process-wide tracer is installed with
+:func:`install_tracer` (the CLI ``--trace`` flag does this);
+instrumentation sites fetch it with :func:`get_tracer` and no-op when
+none is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "install_tracer",
+    "ENGINE_PID",
+    "WFASIC_PID",
+    "COLLECTOR_TID",
+]
+
+#: Trace-process id of wall-clock engine spans.
+ENGINE_PID = 1
+#: Trace-process id of simulated accelerator cycle spans.
+WFASIC_PID = 2
+#: Thread id of the Collector/output-path track inside ``WFASIC_PID``.
+COLLECTOR_TID = 999
+
+#: §5.2 post-PnR frequency: the default cycle -> wall time mapping.
+DEFAULT_CLOCK_HZ = 1.1e9
+
+
+class Tracer:
+    """Collects trace events; writes a Perfetto-loadable JSON document."""
+
+    def __init__(self, *, clock_hz: float = DEFAULT_CLOCK_HZ) -> None:
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be > 0")
+        self.clock_hz = clock_hz
+        self.events: list[dict] = []
+        #: Wall-clock origin: event timestamps are relative to creation.
+        self._epoch = time.perf_counter()
+        self._named_tracks: set[tuple[int, int | None]] = set()
+        self.name_process(ENGINE_PID, "engine (wall clock)")
+        self.name_process(
+            WFASIC_PID, f"WFAsic (simulated cycles @ {clock_hz / 1e9:g} GHz)"
+        )
+
+    # -- clock ----------------------------------------------------------
+
+    def now_us(self) -> float:
+        """Microseconds since this tracer's epoch (event timebase)."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def perf_to_us(self, perf_seconds: float) -> float:
+        """Map a raw ``time.perf_counter`` stamp onto the event timebase.
+
+        Worker processes stamp chunk starts with their own
+        ``perf_counter``; on Linux that clock is system-wide, so the
+        parent can place worker spans on its own timeline.
+        """
+        return (perf_seconds - self._epoch) * 1e6
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Map simulated cycles to microseconds at ``clock_hz``."""
+        return cycles / self.clock_hz * 1e6
+
+    # -- metadata -------------------------------------------------------
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Label a trace process (a Perfetto track group)."""
+        if (pid, None) in self._named_tracks:
+            return
+        self._named_tracks.add((pid, None))
+        self.events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0.0,
+                "args": {"name": name},
+            }
+        )
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        """Label one track inside a trace process (idempotent)."""
+        if (pid, tid) in self._named_tracks:
+            return
+        self._named_tracks.add((pid, tid))
+        self.events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0.0,
+                "args": {"name": name},
+            }
+        )
+
+    # -- events ---------------------------------------------------------
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts_us: float,
+        dur_us: float,
+        *,
+        pid: int = ENGINE_PID,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """Record one complete ("X") span at explicit timestamps."""
+        self.events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": cat,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_us,
+                "dur": max(dur_us, 0.0),
+                "args": args or {},
+            }
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "engine",
+        *,
+        tid: int = 0,
+        args: dict | None = None,
+    ):
+        """Time a wall-clock block: ``with tracer.span("resolve"): ...``."""
+        start = self.now_us()
+        try:
+            yield
+        finally:
+            self.complete(
+                name, cat, start, self.now_us() - start, tid=tid, args=args
+            )
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "engine",
+        *,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """Record an instant ("i") marker at the current wall time."""
+        self.events.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "pid": ENGINE_PID,
+                "tid": tid,
+                "ts": self.now_us(),
+                "s": "t",
+                "args": args or {},
+            }
+        )
+
+    def counter(
+        self, name: str, values: dict, *, tid: int = 0, cat: str = "engine"
+    ) -> None:
+        """Record a counter ("C") sample (Perfetto renders a stacked area)."""
+        self.events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": cat,
+                "pid": ENGINE_PID,
+                "tid": tid,
+                "ts": self.now_us(),
+                "args": dict(values),
+            }
+        )
+
+    def cycle_span(
+        self,
+        name: str,
+        cat: str,
+        base_us: float,
+        start_cycle: float,
+        end_cycle: float,
+        *,
+        tid: int,
+        args: dict | None = None,
+    ) -> None:
+        """Record a simulated-cycle span on the accelerator timeline.
+
+        ``base_us`` anchors cycle 0 of this batch on the wall-clock
+        timeline (callers pass :meth:`now_us` captured when the
+        simulated batch started); the span covers ``[start_cycle,
+        end_cycle]`` at ``clock_hz``.
+        """
+        self.complete(
+            name,
+            cat,
+            base_us + self.cycles_to_us(start_cycle),
+            self.cycles_to_us(end_cycle - start_cycle),
+            pid=WFASIC_PID,
+            tid=tid,
+            args=args,
+        )
+
+    # -- output ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON document Perfetto loads."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "tool": "repro-wfasic",
+                "clock_hz": self.clock_hz,
+            },
+        }
+
+    def write(self, path) -> None:
+        """Serialise the trace to ``path``."""
+        with open(path, "w", encoding="ascii") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+            fh.write("\n")
+
+
+#: The installed process-wide tracer (None when tracing is off).
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _TRACER
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or, with ``None``, remove) the process-wide tracer.
+
+    Returns the previously installed tracer so tests can restore it.
+    Worker processes never inherit an installed tracer (the engine
+    ships only profile dicts across the boundary), so spans recorded
+    inside workers surface through the parent's per-chunk spans instead.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous

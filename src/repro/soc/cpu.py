@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..align.wfa import WfaWorkCounters
+from ..obs.publish import publish_cpu_cycles
 from ..wfasic.backtrace_cpu import CpuBacktraceWork
 from .cache import CacheModel
 
@@ -143,7 +144,9 @@ class SargantanaModel:
                 else work.extend_matches + work.wavefront_steps
             )
             cycles += t.sw_backtrace_char_cycles * length
-        return int(cycles)
+        total = int(cycles)
+        publish_cpu_cycles("wfa_vector" if vector else "wfa_scalar", total)
+        return total
 
     # -- accelerator-flow backtrace (§4.5) ----------------------------------------
 
@@ -172,14 +175,18 @@ class SargantanaModel:
         cycles += t.walk_op_cycles * work.walk_ops
         cycles += t.match_char_cycles * work.match_chars
         cycles += t.bt_pair_fixed_cycles * num_alignments
-        return int(cycles)
+        total = int(cycles)
+        publish_cpu_cycles("backtrace", total)
+        return total
 
     # -- input preparation ---------------------------------------------------------
 
     def input_prepare_cycles(self, image_bytes: int) -> int:
         """CPU cost of staging the input image (Fig. 4 step 1): a
         memory-bound copy/packing pass over the image."""
-        return int(2 * image_bytes)
+        total = int(2 * image_bytes)
+        publish_cpu_cycles("input_prepare", total)
+        return total
 
     # -- driver programming (§3) ------------------------------------------------------
 
@@ -193,4 +200,6 @@ class SargantanaModel:
         """
         if register_accesses < 0:
             raise ValueError("register_accesses must be >= 0")
-        return int(self.timings.mmio_access_cycles * register_accesses)
+        total = int(self.timings.mmio_access_cycles * register_accesses)
+        publish_cpu_cycles("driver", total)
+        return total

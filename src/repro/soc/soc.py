@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from ..align.cigar import Cigar
 from ..align.wfa import WfaWorkCounters
 from ..align.wfa_vectorized import VectorizedWfaAligner
+from ..obs.publish import publish_accelerator_batch
 from ..wfasic.accelerator import BatchResult
 from ..wfasic.backtrace_cpu import CpuBacktracer, CpuBacktraceWork
 from ..wfasic.config import WfasicConfig
@@ -117,6 +118,10 @@ class Soc:
         stream = self.driver.run(image, max_read_len, backtrace=bt, irq=True)
         batch = self.device.last_batch
         assert batch is not None
+        # Cycle-stage counters (and, when tracing, the batch schedule on
+        # the simulated timeline); CPU-side cycles publish from the
+        # SargantanaModel conversion methods themselves.
+        publish_accelerator_batch(batch)
         register_accesses = (
             self.driver.axi_lite.reads + self.driver.axi_lite.writes
         ) - accesses_before

@@ -150,7 +150,7 @@ def asic_report(config: WfasicConfig) -> AsicReport:
     total_mm2 = memory_mm2 / _MEMORY_AREA_FRACTION
     paper_inv_bytes = 475_716  # shipped configuration, for power scaling
     power = GF22_POWER_W * (inv.total_bytes / paper_inv_bytes)
-    return AsicReport(
+    report = AsicReport(
         inventory=inv,
         memory_mb=inv.total_bytes / 1e6,
         memory_area_mm2=memory_mm2,
@@ -158,3 +158,8 @@ def asic_report(config: WfasicConfig) -> AsicReport:
         frequency_hz=GF22_FREQUENCY_HZ,
         power_w=power,
     )
+    # Imported lazily: the physical model stays usable standalone.
+    from ..obs.publish import publish_asic_report
+
+    publish_asic_report(report)
+    return report

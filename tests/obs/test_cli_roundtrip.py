@@ -1,0 +1,177 @@
+"""CLI round-trip: ``batch --trace --metrics`` artefacts reconcile.
+
+The acceptance criterion for the observability layer: on a real batch
+run the manifest's metric counters equal the engine's ``BatchReport``
+field-for-field (no drift, no double counting), and the trace document
+is schema-valid with both engine wall-clock spans and accelerator
+simulated-cycle spans present.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_manifest, validate_trace_document
+
+NUM_PAIRS = 24
+
+
+def _counter(snapshot: dict, name: str, labels: dict | None = None):
+    """Total of one counter series (summed across labels when None)."""
+    doc = snapshot.get(name)
+    if doc is None:
+        return None
+    total = 0
+    for entry in doc["series"]:
+        if labels is None or entry["labels"] == labels:
+            total += entry["value"]
+    return total
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    """One observed wfasic-backend batch run shared by every test."""
+    tmp = tmp_path_factory.mktemp("obs-cli")
+    trace_path = tmp / "trace.json"
+    metrics_path = tmp / "manifest.json"
+    results_path = tmp / "results.tsv"
+    code = main(
+        [
+            "batch",
+            "--generate", "100",
+            "-n", str(NUM_PAIRS),
+            "--seed", "11",
+            "--backend", "wfasic",
+            "--chunk-size", "8",
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+            "-o", str(results_path),
+        ]
+    )
+    assert code == 0
+    return {
+        "manifest": load_manifest(metrics_path),
+        "trace": json.loads(trace_path.read_text()),
+        "metrics_path": metrics_path,
+    }
+
+
+class TestManifestReconciliation:
+    """Counters in the manifest equal the report, exactly."""
+
+    def test_counters_match_report_field_for_field(self, artefacts):
+        doc = artefacts["manifest"]
+        report = doc["report"]
+        snapshot = doc["metrics"]
+        labels = {"backend": "wfasic"}
+        for counter, field in (
+            ("engine_pairs_total", "num_pairs"),
+            ("engine_pairs_aligned_total", "pairs_aligned"),
+            ("engine_cache_hits_total", "cache_hits"),
+            ("engine_coalesced_total", "coalesced"),
+            ("engine_errors_total", "errors"),
+            ("engine_rejected_total", "rejected"),
+            ("engine_retries_total", "retries"),
+            ("engine_swg_cells_total", "swg_cells"),
+        ):
+            assert _counter(snapshot, counter, labels) == report[field], counter
+        assert _counter(snapshot, "engine_batches_total", labels) == 1
+
+    def test_batch_histogram_holds_the_one_run(self, artefacts):
+        doc = artefacts["manifest"]
+        series = doc["metrics"]["engine_batch_seconds"]["series"][0]["value"]
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(doc["report"]["elapsed_seconds"])
+
+    def test_stage_calls_mirror_the_profile(self, artefacts):
+        doc = artefacts["manifest"]
+        snapshot = doc["metrics"]
+        for stage, entry in doc["report"]["profile"].items():
+            labels = {"stage": stage, "backend": "wfasic"}
+            assert _counter(snapshot, "engine_stage_calls_total", labels) == (
+                entry["calls"]
+            ), stage
+            assert _counter(
+                snapshot, "engine_stage_seconds_total", labels
+            ) == pytest.approx(entry["seconds"]), stage
+
+    def test_accelerator_counters_cover_every_pair(self, artefacts):
+        snapshot = artefacts["manifest"]["metrics"]
+        assert _counter(snapshot, "wfasic_alignments_total") == NUM_PAIRS
+        assert _counter(snapshot, "wfasic_batches_total") >= 1
+        by_stage = {
+            tuple(e["labels"].items()): e["value"]
+            for e in snapshot["wfasic_cycles_total"]["series"]
+        }
+        stages = {k[0][1] for k in by_stage}
+        assert {"read", "compute", "extend", "output"} <= stages
+
+    def test_run_identity_recorded(self, artefacts):
+        doc = artefacts["manifest"]
+        run = doc["run"]
+        assert run["command"][0] == "repro-wfasic"
+        assert "batch" in run["command"]
+        assert run["seed"] == 11
+        assert run["config"]["backend"] == "wfasic"
+        assert run["dataset"]["num_pairs"] == NUM_PAIRS
+        assert run["dataset"]["source"].startswith("generated:")
+        # This checkout is a git repository, so revision is captured.
+        assert run["git"] is not None and len(run["git"]["revision"]) == 40
+
+
+class TestTraceDocument:
+    def test_schema_valid(self, artefacts):
+        validate_trace_document(artefacts["trace"])
+
+    def test_engine_and_accelerator_spans_present(self, artefacts):
+        events = artefacts["trace"]["traceEvents"]
+        cats = {e.get("cat") for e in events}
+        assert "engine" in cats
+        assert "engine:chunk" in cats
+        assert "wfasic:extractor" in cats
+        assert "wfasic:aligner" in cats
+        names = {e["name"] for e in events}
+        for span in ("batch", "resolve", "dispatch", "gather"):
+            assert span in names, span
+
+    def test_one_aligner_span_per_pair(self, artefacts):
+        events = artefacts["trace"]["traceEvents"]
+        aligns = [e for e in events if e.get("cat") == "wfasic:aligner"]
+        assert len(aligns) == NUM_PAIRS
+
+    def test_tracks_are_named(self, artefacts):
+        events = artefacts["trace"]["traceEvents"]
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert any(n.startswith("aligner") for n in thread_names)
+        assert "extractor / input path" in thread_names
+
+
+class TestMetricsSubcommand:
+    def test_pretty_prints_a_manifest(self, artefacts, capsys):
+        assert main(["metrics", str(artefacts["metrics_path"])]) == 0
+        out = capsys.readouterr().out
+        assert "engine_pairs_total{backend=wfasic}" in out
+        assert "command : repro-wfasic" in out
+
+    def test_filter_narrows_the_listing(self, artefacts, capsys):
+        assert main(
+            ["metrics", str(artefacts["metrics_path"]), "--filter", "wfasic_"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wfasic_cycles_total" in out
+        assert "engine_pairs_total" not in out
+
+    def test_bare_snapshot_accepted(self, artefacts, tmp_path, capsys):
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(artefacts["manifest"]["metrics"]))
+        assert main(["metrics", str(path)]) == 0
+        assert "engine_pairs_total" in capsys.readouterr().out
+
+    def test_invalid_document_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "run_manifest"}))
+        assert main(["metrics", str(path)]) == 1
+        assert "invalid manifest" in capsys.readouterr().err

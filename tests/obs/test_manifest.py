@@ -1,0 +1,122 @@
+"""Run manifests: fingerprinting, schema validation, file round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    SchemaError,
+    dataset_fingerprint,
+    git_revision,
+    load_manifest,
+)
+from repro.workloads import PairGenerator
+
+
+class TestDatasetFingerprint:
+    def test_counts(self):
+        digest, num_pairs, total_bases = dataset_fingerprint(
+            [("ACGT", "ACG"), ("TT", "TTA")]
+        )
+        assert num_pairs == 2
+        assert total_bases == 4 + 3 + 2 + 3
+        assert len(digest) == 64
+
+    def test_deterministic(self):
+        pairs = [("ACGT", "ACGA"), ("GG", "GC")]
+        assert dataset_fingerprint(pairs) == dataset_fingerprint(pairs)
+
+    def test_boundary_shifts_change_the_digest(self):
+        # Same concatenated bases, different pattern/text split.
+        a, _, _ = dataset_fingerprint([("AC", "GT")])
+        b, _, _ = dataset_fingerprint([("A", "CGT")])
+        assert a != b
+
+    def test_pair_order_changes_the_digest(self):
+        a, _, _ = dataset_fingerprint([("AA", "CC"), ("GG", "TT")])
+        b, _, _ = dataset_fingerprint([("GG", "TT"), ("AA", "CC")])
+        assert a != b
+
+    def test_accepts_sequence_pair_objects(self):
+        pairs = PairGenerator(length=20, error_rate=0.1, seed=3).batch(4)
+        from_objects = dataset_fingerprint(pairs)
+        from_tuples = dataset_fingerprint([(p.pattern, p.text) for p in pairs])
+        assert from_objects == from_tuples
+
+
+class TestGitRevision:
+    def test_inside_this_repository(self):
+        info = git_revision()
+        # The reproduction repo is itself a git checkout.
+        assert info is not None
+        assert len(info["revision"]) == 40
+        assert isinstance(info["dirty"], bool)
+
+    def test_outside_a_repository(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+def _manifest() -> RunManifest:
+    return RunManifest.for_run(
+        command=["repro-wfasic", "batch", "--generate", "100"],
+        config={"backend": "batched", "workers": 2},
+        pairs=[("ACGT", "ACGA"), ("GGTT", "GGTA")],
+        dataset_source="generated:length=100,n=2,error=0.05,seed=0",
+        seed=0,
+        report={"num_pairs": 2},
+        metrics={},
+    )
+
+
+class TestRunManifest:
+    def test_as_dict_validates(self):
+        doc = _manifest().as_dict()
+        assert doc["kind"] == "run_manifest"
+        assert doc["schema_version"] == 1
+        assert doc["run"]["dataset"]["num_pairs"] == 2
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        written = _manifest().write(path)
+        assert load_manifest(path) == written
+
+    def test_metrics_default_to_registry_snapshot(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        fresh.counter("engine_pairs_total").inc(7)
+        previous = set_registry(fresh)
+        try:
+            manifest = RunManifest.for_run(
+                command=["x"],
+                config={},
+                pairs=[("A", "C")],
+                dataset_source="test",
+            )
+        finally:
+            set_registry(previous)
+        series = manifest.metrics["engine_pairs_total"]["series"]
+        assert series[0]["value"] == 7
+
+    def test_seed_may_be_none(self):
+        manifest = _manifest()
+        manifest.seed = None
+        manifest.as_dict()
+
+    def test_tampered_document_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        doc = _manifest().write(path)
+        for strip in ("kind", "run", "metrics"):
+            broken = {k: v for k, v in doc.items() if k != strip}
+            path.write_text(json.dumps(broken))
+            with pytest.raises(SchemaError):
+                load_manifest(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        doc = _manifest().write(path)
+        doc["schema_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SchemaError):
+            load_manifest(path)

@@ -1,0 +1,189 @@
+"""Metrics registry: types, labels, and snapshot/merge semantics.
+
+The load-bearing property is that snapshot merging is associative and
+commutative for counters and histograms — that is what lets worker
+processes snapshot private registries and ship them to the parent in
+any order.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    format_metrics,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+    validate_metrics_snapshot,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pairs_total", "help")
+        c.inc(3)
+        c.inc()
+        assert c.value() == 4
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("pairs_total")
+        c.inc(2, {"backend": "scalar"})
+        c.inc(5, {"backend": "wfasic"})
+        assert c.value({"backend": "scalar"}) == 2
+        assert c.value({"backend": "wfasic"}) == 5
+        assert c.value() == 0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(1, {"a": "1", "b": "2"})
+        c.inc(1, {"b": "2", "a": "1"})
+        assert c.value({"a": "1", "b": "2"}) == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_same_handle(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("workers")
+        g.set(4)
+        g.set(2)
+        assert g.value() == 2
+
+
+class TestHistogram:
+    def test_observe_accumulates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = reg.snapshot()["seconds"]["series"][0]["value"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 50.0
+        # One sample per bucket plus one overflow.
+        assert snap["counts"] == [1, 1, 1]
+
+    def test_counts_length_is_buckets_plus_one(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.1)
+        value = reg.snapshot()["h"]["series"][0]["value"]
+        assert len(value["counts"]) == len(value["buckets"]) + 1
+
+
+def _worker_snapshot(seed: int) -> dict:
+    """Simulate one worker's private registry, randomised by seed."""
+    rng = random.Random(seed)
+    reg = MetricsRegistry()
+    c = reg.counter("engine_pairs_total", "pairs")
+    for backend in ("scalar", "wfasic"):
+        c.inc(rng.randint(0, 50), {"backend": backend})
+    reg.gauge("engine_workers", "workers").set(seed)
+    h = reg.histogram("engine_batch_seconds", "seconds")
+    for _ in range(rng.randint(1, 5)):
+        h.observe(rng.random())
+    return reg.snapshot()
+
+
+class TestMergeAcrossWorkers:
+    """Snapshots from simulated workers must merge associatively."""
+
+    def _total(self, snap, labels):
+        series = snap["engine_pairs_total"]["series"]
+        for entry in series:
+            if entry["labels"] == labels:
+                return entry["value"]
+        return 0
+
+    def test_merge_is_associative(self):
+        a, b, c = (_worker_snapshot(s) for s in (1, 2, 3))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    def test_merge_is_commutative_for_counters_and_histograms(self):
+        a, b, c = (_worker_snapshot(s) for s in (4, 5, 6))
+        fwd = merge_snapshots(a, b, c)
+        rev = merge_snapshots(c, b, a)
+        assert fwd["engine_pairs_total"] == rev["engine_pairs_total"]
+        assert fwd["engine_batch_seconds"] == rev["engine_batch_seconds"]
+
+    def test_counter_totals_add(self):
+        snaps = [_worker_snapshot(s) for s in range(5)]
+        merged = merge_snapshots(*snaps)
+        for backend in ("scalar", "wfasic"):
+            labels = {"backend": backend}
+            assert self._total(merged, labels) == sum(
+                self._total(s, labels) for s in snaps
+            )
+
+    def test_histogram_counts_and_extrema_merge(self):
+        snaps = [_worker_snapshot(s) for s in range(4)]
+        merged = merge_snapshots(*snaps)
+        values = [s["engine_batch_seconds"]["series"][0]["value"] for s in snaps]
+        out = merged["engine_batch_seconds"]["series"][0]["value"]
+        assert out["count"] == sum(v["count"] for v in values)
+        assert out["sum"] == pytest.approx(sum(v["sum"] for v in values))
+        assert out["min"] == min(v["min"] for v in values)
+        assert out["max"] == max(v["max"] for v in values)
+
+    def test_merged_snapshot_validates(self):
+        merged = merge_snapshots(*(_worker_snapshot(s) for s in range(3)))
+        validate_metrics_snapshot(merged)
+
+    def test_bucket_mismatch_rejected(self):
+        reg_a = MetricsRegistry()
+        reg_a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        reg_b = MetricsRegistry()
+        reg_b.histogram("h", buckets=(5.0, 6.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(reg_a.snapshot(), reg_b.snapshot())
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_clear_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.clear()
+        assert reg.snapshot() == {}
+
+
+class TestFormatMetrics:
+    def test_empty(self):
+        assert "none recorded" in format_metrics({})
+
+    def test_lines_cover_every_series(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(3, {"k": "v"})
+        reg.gauge("b").set(1.5)
+        reg.histogram("c_seconds").observe(0.2)
+        text = format_metrics(reg.snapshot())
+        assert "a_total{k=v}" in text
+        assert "b" in text
+        assert "count=1" in text

@@ -1,0 +1,91 @@
+"""Publishing to the registry must not perturb the profiler numbers.
+
+The observability layer was retrofitted onto ``StageProfiler`` and
+``BatchReport.profile``; these differential tests pin that the retrofit
+is purely additive — the pre-registry numbers are bit-identical whether
+or not anything is published, and the registry mirror agrees with the
+profile it mirrors.
+"""
+
+import copy
+
+from repro.align.profile import StageProfiler
+from repro.engine import BatchAlignmentEngine, EngineConfig
+from repro.obs import MetricsRegistry, set_registry
+from repro.workloads import PairGenerator
+
+
+class TestPublishIsAdditive:
+    def _profiler(self) -> StageProfiler:
+        prof = StageProfiler()
+        prof.add("pack", 0.25, calls=3)
+        prof.add("compute", 1.5, calls=7)
+        prof.count("cache_hit", 4)
+        return prof
+
+    def test_as_dict_bit_identical_after_publish(self):
+        prof = self._profiler()
+        before = copy.deepcopy(prof.as_dict())
+        prof.publish(MetricsRegistry())
+        assert prof.as_dict() == before
+
+    def test_registry_mirror_matches_the_profile(self):
+        prof = self._profiler()
+        registry = MetricsRegistry()
+        prof.publish(registry, "engine", {"backend": "batched"})
+        seconds = registry.counter("engine_stage_seconds_total")
+        calls = registry.counter("engine_stage_calls_total")
+        for stage, entry in prof.as_dict().items():
+            labels = {"stage": stage, "backend": "batched"}
+            assert seconds.value(labels) == entry["seconds"]
+            assert calls.value(labels) == entry["calls"]
+
+    def test_double_publish_doubles_the_mirror_only(self):
+        prof = self._profiler()
+        registry = MetricsRegistry()
+        prof.publish(registry)
+        once = copy.deepcopy(prof.as_dict())
+        prof.publish(registry)
+        assert prof.as_dict() == once
+        labels = {"stage": "compute"}
+        assert registry.counter(
+            "engine_stage_seconds_total"
+        ).value(labels) == 2 * once["compute"]["seconds"]
+
+
+class TestEngineProfileUnchanged:
+    """The report's profile is the same numbers the registry mirrors."""
+
+    def _run(self):
+        pairs = PairGenerator(
+            length=80, error_rate=0.05, seed=5, max_text_length=80
+        ).batch(12)
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            with BatchAlignmentEngine(
+                EngineConfig(backend="batched", workers=1, cache_size=0)
+            ) as engine:
+                result = engine.align_batch(pairs)
+        finally:
+            set_registry(previous)
+        return result.report, registry
+
+    def test_profile_keys_and_mirror_agree(self):
+        report, registry = self._run()
+        profile = report.profile
+        # The engine stages are always present.
+        assert {"resolve", "gather"} <= set(profile)
+        calls = registry.counter("engine_stage_calls_total")
+        seconds = registry.counter("engine_stage_seconds_total")
+        for stage, entry in profile.items():
+            labels = {"stage": stage, "backend": "batched"}
+            assert calls.value(labels) == entry["calls"], stage
+            assert seconds.value(labels) == entry["seconds"], stage
+
+    def test_profile_shape_is_the_pre_registry_contract(self):
+        report, _ = self._run()
+        for entry in report.profile.values():
+            assert set(entry) == {"calls", "seconds"}
+            assert entry["calls"] >= 0
+            assert entry["seconds"] >= 0.0

@@ -1,0 +1,143 @@
+"""Tracer: every emitted event must be schema-valid Chrome trace JSON.
+
+Pins the contract stated in ``repro/obs/trace.py``: whatever mix of
+span/instant/counter/cycle_span calls a run makes, the resulting
+document loads in Perfetto — i.e. every event validates against
+``TRACE_EVENT_SCHEMA`` and the file against ``TRACE_DOCUMENT_SCHEMA``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COLLECTOR_TID,
+    ENGINE_PID,
+    WFASIC_PID,
+    SchemaError,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    validate_trace_document,
+    validate_trace_event,
+)
+
+
+def _exercised_tracer() -> Tracer:
+    """A tracer that has used every event-emitting entry point."""
+    tr = Tracer(clock_hz=1e9)
+    tr.name_thread(ENGINE_PID, 1, "worker 1234")
+    tr.name_thread(WFASIC_PID, 0, "extractor")
+    tr.name_thread(WFASIC_PID, COLLECTOR_TID, "collector")
+    with tr.span("resolve", "engine"):
+        pass
+    tr.complete("chunk (8 pairs)", "engine:chunk", 10.0, 5.0, tid=1,
+                args={"pairs": 8})
+    tr.instant("cache flush", args={"entries": 3})
+    tr.counter("inflight", {"chunks": 2})
+    tr.cycle_span("read pair 0", "wfasic:extractor", 0.0, 0, 220, tid=0)
+    tr.cycle_span("align pair 0", "wfasic:aligner", 0.0, 220, 900, tid=1,
+                  args={"score": -12})
+    return tr
+
+
+class TestEventValidity:
+    def test_every_event_validates(self):
+        tr = _exercised_tracer()
+        assert len(tr.events) > 8
+        for event in tr.events:
+            validate_trace_event(event)
+
+    def test_document_validates(self):
+        validate_trace_document(_exercised_tracer().to_dict())
+
+    def test_document_has_display_unit_and_clock(self):
+        doc = _exercised_tracer().to_dict()
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["clock_hz"] == 1e9
+
+    def test_x_event_without_dur_rejected(self):
+        bad = {"ph": "X", "name": "n", "pid": 1, "tid": 0, "ts": 0.0}
+        with pytest.raises(SchemaError):
+            validate_trace_event(bad)
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tr = _exercised_tracer()
+        tr.write(path)
+        doc = json.loads(path.read_text())
+        validate_trace_document(doc)
+        assert doc == tr.to_dict()
+
+
+class TestClockMapping:
+    def test_cycle_span_maps_cycles_at_clock_hz(self):
+        # 1 MHz: one cycle is exactly one microsecond.
+        tr = Tracer(clock_hz=1e6)
+        tr.cycle_span("s", "wfasic:aligner", 100.0, 10, 50, tid=1)
+        event = tr.events[-1]
+        assert event["ts"] == pytest.approx(110.0)
+        assert event["dur"] == pytest.approx(40.0)
+        assert event["pid"] == WFASIC_PID
+
+    def test_cycles_to_us(self):
+        tr = Tracer(clock_hz=1.1e9)
+        # 1100 cycles at 1.1 GHz is exactly one microsecond.
+        assert tr.cycles_to_us(1100) == pytest.approx(1.0)
+
+    def test_now_us_is_monotonic(self):
+        tr = Tracer()
+        assert tr.now_us() <= tr.now_us()
+
+    def test_perf_to_us_matches_now_us_basis(self):
+        import time
+
+        tr = Tracer()
+        stamp = time.perf_counter()
+        assert tr.perf_to_us(stamp) == pytest.approx(tr.now_us(), abs=1e3)
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(clock_hz=0)
+
+
+class TestTrackMetadata:
+    def test_process_names_emitted_on_creation(self):
+        tr = Tracer()
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in tr.events
+            if e["name"] == "process_name"
+        }
+        assert any(pid == ENGINE_PID for pid, _ in names)
+        assert any(pid == WFASIC_PID for pid, _ in names)
+
+    def test_name_thread_is_idempotent(self):
+        tr = Tracer()
+        before = len(tr.events)
+        tr.name_thread(ENGINE_PID, 3, "worker 99")
+        tr.name_thread(ENGINE_PID, 3, "worker 99")
+        assert len(tr.events) == before + 1
+
+    def test_negative_duration_clamped(self):
+        tr = Tracer()
+        tr.complete("odd", "engine", 5.0, -1.0)
+        assert tr.events[-1]["dur"] == 0.0
+
+
+class TestInstallation:
+    def test_install_returns_previous_and_restores(self):
+        tr = Tracer()
+        previous = install_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            install_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_none_uninstalls(self):
+        previous = install_tracer(None)
+        try:
+            assert get_tracer() is None
+        finally:
+            install_tracer(previous)

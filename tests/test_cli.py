@@ -1,11 +1,14 @@
 """Tests for the repro-wfasic command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, format_cli_reference, main
 from repro.workloads import read_seq_file
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestGenerate:
@@ -207,6 +210,33 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCliReference:
+    """The README's generated CLI section stays in sync with the parser."""
+
+    def test_reference_covers_every_subcommand(self):
+        text = format_cli_reference()
+        for command in ("generate", "align", "batch", "metrics", "report",
+                        "stats", "verify"):
+            assert f"#### `{command}`" in text, command
+
+    def test_readme_section_matches_parser(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        import tools.sync_readme as sync
+
+        begin, end = readme.index(sync.BEGIN), readme.index(sync.END)
+        embedded = readme[begin + len(sync.BEGIN):end].strip()
+        assert embedded == format_cli_reference().strip(), (
+            "README CLI reference is stale; run "
+            "`PYTHONPATH=src python tools/sync_readme.py`"
+        )
+
+    def test_render_readme_is_idempotent(self):
+        import tools.sync_readme as sync
+
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert sync.render_readme(readme) == readme
 
 
 class TestStats:
