@@ -98,7 +98,6 @@ def banded_swg_score(
             return int(_INF)
 
         ai = ord(a[i - 1])
-        row_prev_m = cur_m  # alias for the running horizontal recurrence
         for t in range(width):
             j = lo + t
             # Deletion (vertical, from row i-1 same column).

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import groupby
+from typing import Iterator
 
 from .penalties import AffinePenalties, LinearPenalties
 
@@ -71,7 +72,7 @@ class Cigar:
     def __len__(self) -> int:
         return len(self.ops)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.ops)
 
     def compact(self) -> str:

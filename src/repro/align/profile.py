@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any, Iterator
 
 __all__ = ["StageStats", "StageProfiler", "format_profile"]
 
@@ -47,7 +48,7 @@ class StageProfiler:
         return stats
 
     @contextmanager
-    def stage(self, name: str):
+    def stage(self, name: str) -> Iterator[None]:
         """Time a block: ``with prof.stage("compute"): ...``."""
         start = time.perf_counter()
         try:
@@ -83,7 +84,12 @@ class StageProfiler:
         """Wall-time summed over every stage."""
         return sum(s.seconds for s in self.stages.values())
 
-    def publish(self, registry, prefix: str = "engine", labels: dict | None = None) -> None:
+    def publish(
+        self,
+        registry: Any,
+        prefix: str = "engine",
+        labels: dict | None = None,
+    ) -> None:
         """Publish the accumulated stages to a metrics registry.
 
         Emits ``{prefix}_stage_seconds_total{stage=...}`` and

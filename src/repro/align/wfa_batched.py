@@ -345,7 +345,7 @@ class BatchedWfaAligner:
                 hi_new = np.where(exists, hi_new, -BAND_ABSENT)
                 width = int((hi_new - lo_new).max()) + 1
 
-                def win(rec, which: str, shift: int) -> np.ndarray:
+                def win(rec: _BatchRecord | None, which: str, shift: int) -> np.ndarray:
                     if rec is None:
                         return np.full(
                             (act.size, width), NULL_OFFSET, dtype=np.int64

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .cigar import Cigar
 from .kernels import compute_kernel, extend_kernel, pad_sequence
 from .penalties import AffinePenalties, DEFAULT_PENALTIES
 from .wfa import (

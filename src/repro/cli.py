@@ -1,6 +1,6 @@
 """Command-line interface to the WFAsic reproduction.
 
-Seven subcommands cover the common flows:
+Eight subcommands cover the common flows:
 
 * ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
   or custom length/error parameters);
@@ -18,7 +18,10 @@ Seven subcommands cover the common flows:
   configuration;
 * ``stats`` — summarise a ``.seq`` file (realised error profile) and
   run the Eq. 5 preflight against a configuration;
-* ``verify`` — a §5.1-style differential campaign.
+* ``verify`` — a §5.1-style differential campaign;
+* ``lint`` — the wfalint domain static-analysis pass (delegates to
+  ``python -m tools.wfalint``; needs a repository checkout — see
+  ``docs/static-analysis.md``).
 
 The README's command-reference section is generated from the parser by
 :func:`format_cli_reference` (``tests/test_cli.py`` pins the sync).
@@ -33,6 +36,7 @@ import argparse
 import json
 import sys
 from dataclasses import asdict
+from pathlib import Path
 from typing import Sequence
 
 from .align import DEFAULT_PENALTIES, AffinePenalties
@@ -184,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("-n", "--num-pairs", type=int, default=30)
     ver.add_argument("--max-len", type=int, default=100)
     ver.add_argument("--seed", type=int, default=0)
+
+    lnt = sub.add_parser(
+        "lint", help="run the wfalint static-analysis pass (checkout only)"
+    )
+    lnt.add_argument(
+        "wfalint_args",
+        nargs=argparse.REMAINDER,
+        metavar="ARGS",
+        help="forwarded to `python -m tools.wfalint` (try `-- --list-rules`)",
+    )
 
     return parser
 
@@ -493,6 +507,47 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _find_wfalint_root() -> Path | None:
+    """The checkout root holding ``tools/wfalint``, or ``None``.
+
+    ``tools/`` is repository tooling, not part of the installed package,
+    so the ``lint`` subcommand only works from (or under) a checkout:
+    the search walks up from the working directory, then from this
+    file's own location (covering ``pip install -e`` layouts, where
+    ``src/repro`` sits two levels below the repository root).
+    """
+    candidates = [Path.cwd(), *Path.cwd().parents]
+    candidates += list(Path(__file__).resolve().parents)
+    for base in candidates:
+        if (base / "tools" / "wfalint" / "__init__.py").is_file():
+            return base
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    root = _find_wfalint_root()
+    if root is None:
+        print(
+            "lint: tools/wfalint not found — run inside a repository "
+            "checkout (or use `python -m tools.wfalint` from one)",
+            file=sys.stderr,
+        )
+        return 2
+    sys.path.insert(0, str(root))
+    try:
+        from tools.wfalint.cli import main as wfalint_main
+    finally:
+        sys.path.remove(str(root))
+    forwarded = list(args.wfalint_args)
+    if forwarded[:1] == ["--"]:
+        forwarded = forwarded[1:]
+    # Anchor wfalint at the checkout root unless the caller chose one;
+    # its default target (`<root>/src`) then works from any directory.
+    if "--root" not in forwarded:
+        forwarded += ["--root", str(root)]
+    return int(wfalint_main(forwarded))
+
+
 def format_cli_reference() -> str:
     """Markdown reference for every subcommand, rendered from the parser.
 
@@ -569,6 +624,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

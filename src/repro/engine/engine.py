@@ -38,13 +38,14 @@ import os
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
 
 from ..align.penalties import AffinePenalties, DEFAULT_PENALTIES
 from ..align.profile import StageProfiler, format_profile
 from ..metrics.cups import gcups, swg_equivalent_cells
 from ..obs.metrics import get_registry
 from ..obs.publish import publish_batch_report
-from ..obs.trace import get_tracer
+from ..obs.trace import Tracer, get_tracer
 from ..workloads.generator import SequencePair
 from .backends import (
     AlignmentBackend,
@@ -327,7 +328,9 @@ def _run_chunk(payload: ChunkPayload) -> ChunkResult:
     return os.getpid(), start, time.perf_counter() - start, outcomes, profile
 
 
-def _quarantine_entry(payload: ChunkPayload, queue) -> None:
+def _quarantine_entry(
+    payload: ChunkPayload, queue: "multiprocessing.queues.Queue[list[PairOutcome]]"
+) -> None:
     """Entry point of a quarantine process: one pair, result via queue."""
     _, _, _, outcomes, _ = _run_chunk(payload)
     queue.put(outcomes)
@@ -375,14 +378,16 @@ def _run_item_quarantined(
 
 
 @contextmanager
-def _timed(prof: StageProfiler, tracer, name: str):
+def _timed(
+    prof: StageProfiler, tracer: Tracer | None, name: str
+) -> Iterator[None]:
     """Time a block into the profiler and, when tracing, as a span."""
     span = tracer.span(name, "engine") if tracer is not None else nullcontext()
     with span, prof.stage(name):
         yield
 
 
-def _as_sequences(pair) -> tuple[str, str]:
+def _as_sequences(pair: SequencePair | tuple[str, str]) -> tuple[str, str]:
     if isinstance(pair, SequencePair):
         return pair.pattern, pair.text
     pattern, text = pair
@@ -433,7 +438,9 @@ class BatchAlignmentEngine:
 
     # -- execution -----------------------------------------------------
 
-    def align_batch(self, pairs) -> EngineResult:
+    def align_batch(
+        self, pairs: Sequence[SequencePair | tuple[str, str]]
+    ) -> EngineResult:
         """Align a batch (``SequencePair`` objects or ``(a, b)`` tuples).
 
         Returns outcomes in input order plus the batch counters.  Never
@@ -684,7 +691,7 @@ class BatchAlignmentEngine:
 
 
 def align_pairs(
-    pairs,
+    pairs: Sequence[SequencePair | tuple[str, str]],
     *,
     backend: str = "vectorized",
     workers: int = 1,

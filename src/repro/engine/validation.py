@@ -24,11 +24,7 @@ malformed request can never take down a batch or crash a worker:
 
 from __future__ import annotations
 
-from ..wfasic.extractor import (
-    UNSUPPORTED_BAD_BASE,
-    UNSUPPORTED_TOO_LONG,
-    read_support_reason,
-)
+from ..wfasic.extractor import read_support_reason
 
 __all__ = [
     "VALID_BASES",
@@ -55,7 +51,7 @@ ERROR_TIMEOUT = "timeout"
 ERROR_WORKER_LOST = "worker_lost"
 
 
-def normalize_pair(idx: int, pattern, text) -> tuple[str, str]:
+def normalize_pair(idx: int, pattern: object, text: object) -> tuple[str, str]:
     """Type-check and case-fold one pair.
 
     Raises :class:`TypeError` naming the slot index for non-``str``

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .cups import TABLE2_REFERENCE_ROWS, PlatformRow
+from .cups import TABLE2_REFERENCE_ROWS
 
 __all__ = ["EnergyRow", "energy_per_alignment_j", "TABLE_ENERGY_ROWS"]
 

@@ -56,6 +56,7 @@ from .trace import (
     get_tracer,
     install_tracer,
 )
+from .vocabulary import LABEL_KEYS, METRIC_NAMES
 
 __all__ = [
     "MetricsRegistry",
@@ -85,4 +86,6 @@ __all__ = [
     "validate_manifest",
     "TRACE_EVENT_SCHEMA",
     "MANIFEST_SCHEMA",
+    "METRIC_NAMES",
+    "LABEL_KEYS",
 ]

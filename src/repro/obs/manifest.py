@@ -21,6 +21,7 @@ import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Iterable, Sequence
 
 from .schema import validate_manifest
 
@@ -35,7 +36,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 
-def dataset_fingerprint(pairs) -> tuple[str, int, int]:
+def dataset_fingerprint(pairs: Iterable[Any]) -> tuple[str, int, int]:
     """Fingerprint a workload: (sha256 hex, num_pairs, total_bases).
 
     ``pairs`` may hold :class:`~repro.workloads.generator.SequencePair`
@@ -60,7 +61,7 @@ def dataset_fingerprint(pairs) -> tuple[str, int, int]:
     return digest.hexdigest(), num_pairs, total_bases
 
 
-def git_revision(repo_root=None) -> dict | None:
+def git_revision(repo_root: str | Path | None = None) -> dict | None:
     """The current git revision and dirty flag, or ``None`` outside git.
 
     Never raises: a missing ``git`` binary or a non-repository directory
@@ -109,14 +110,14 @@ class RunManifest:
     def for_run(
         cls,
         *,
-        command,
+        command: Sequence[object],
         config: dict,
-        pairs,
+        pairs: Iterable[Any],
         dataset_source: str,
         seed: int | None = None,
         report: dict | None = None,
         metrics: dict | None = None,
-        repo_root=None,
+        repo_root: str | Path | None = None,
     ) -> "RunManifest":
         """Build a manifest for a batch/benchmark run.
 
@@ -166,14 +167,14 @@ class RunManifest:
         validate_manifest(doc)
         return doc
 
-    def write(self, path) -> dict:
+    def write(self, path: str | Path) -> dict:
         """Validate and serialise the manifest; returns the document."""
         doc = self.as_dict()
         Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         return doc
 
 
-def load_manifest(path) -> dict:
+def load_manifest(path: str | Path) -> dict:
     """Read and validate a manifest written by :meth:`RunManifest.write`."""
     doc = json.loads(Path(path).read_text())
     validate_manifest(doc)

@@ -77,7 +77,7 @@ class _Metric:
         self.help = help
         self.series: dict[LabelKey, object] = {}
 
-    def _series_value(self, value) -> object:  # pragma: no cover - abstract
+    def _series_value(self, value: float) -> object:  # pragma: no cover - abstract
         raise NotImplementedError
 
 

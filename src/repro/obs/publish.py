@@ -17,6 +17,8 @@ The metric vocabulary emitted here is the reference list in
 
 from __future__ import annotations
 
+from typing import Any
+
 from .metrics import MetricsRegistry, get_registry
 from .trace import COLLECTOR_TID, Tracer, get_tracer
 
@@ -28,7 +30,9 @@ __all__ = [
 ]
 
 
-def publish_batch_report(report, registry: MetricsRegistry | None = None) -> None:
+def publish_batch_report(
+    report: Any, registry: MetricsRegistry | None = None
+) -> None:
     """Publish one engine :class:`~repro.engine.BatchReport`.
 
     Counters reconcile field-for-field with the report (the CLI
@@ -59,7 +63,7 @@ def publish_batch_report(report, registry: MetricsRegistry | None = None) -> Non
 
 
 def publish_accelerator_batch(
-    batch,
+    batch: Any,
     *,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
@@ -177,7 +181,9 @@ def publish_cpu_cycles(
     ).inc(cycles, {"kind": kind})
 
 
-def publish_asic_report(report, registry: MetricsRegistry | None = None) -> None:
+def publish_asic_report(
+    report: Any, registry: MetricsRegistry | None = None
+) -> None:
     """Publish the physical model's headline figures as gauges."""
     reg = registry or get_registry()
     reg.gauge("wfasic_asic_area_mm2", "GF22FDX accelerator area").set(

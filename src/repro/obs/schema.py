@@ -50,7 +50,7 @@ _TYPES = {
 }
 
 
-def _check_type(value, expected: str, path: str) -> None:
+def _check_type(value: object, expected: str, path: str) -> None:
     if expected == "number":
         # bool is an int subclass; a bare True is not a number here.
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -71,7 +71,7 @@ def _check_type(value, expected: str, path: str) -> None:
         raise SchemaError(path, f"expected {expected}, got {type(value).__name__}")
 
 
-def validate(value, schema: dict, path: str = "$") -> None:
+def validate(value: object, schema: dict, path: str = "$") -> None:
     """Validate ``value`` against a schema; raise :class:`SchemaError`.
 
     Returns ``None`` on success — validation is a gate, not a parse.

@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from typing import Iterator
 
 __all__ = [
     "Tracer",
@@ -164,7 +165,7 @@ class Tracer:
         *,
         tid: int = 0,
         args: dict | None = None,
-    ):
+    ) -> Iterator[None]:
         """Time a wall-clock block: ``with tracer.span("resolve"): ...``."""
         start = self.now_us()
         try:
@@ -253,7 +254,7 @@ class Tracer:
             },
         }
 
-    def write(self, path) -> None:
+    def write(self, path: str | object) -> None:
         """Serialise the trace to ``path``."""
         with open(path, "w", encoding="ascii") as fh:
             json.dump(self.to_dict(), fh, indent=1)

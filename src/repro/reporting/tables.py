@@ -12,7 +12,7 @@ from typing import Iterable, Sequence
 __all__ = ["format_table", "format_comparison"]
 
 
-def _cell(value) -> str:
+def _cell(value: object) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"

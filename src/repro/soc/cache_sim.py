@@ -35,7 +35,9 @@ class CacheStats:
 class CacheSim:
     """One LRU set-associative cache level."""
 
-    def __init__(self, size_bytes: int, ways: int = 8, line_bytes: int = 64):
+    def __init__(
+        self, size_bytes: int, ways: int = 8, line_bytes: int = 64
+    ) -> None:
         if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
             raise ValueError("cache geometry must be positive")
         if size_bytes % (ways * line_bytes):
@@ -122,6 +124,7 @@ class Hierarchy:
     @property
     def amat(self) -> float:
         """Average memory access time over everything replayed so far."""
+        # wfalint: disable=W002 — AMAT is a derived ratio, not a counter
         return self.total_cycles / max(self.l1.stats.accesses, 1)
 
 

@@ -12,6 +12,8 @@ Idle is read-only from the CPU side.
 
 from __future__ import annotations
 
+from typing import Callable
+
 __all__ = ["Reg", "RegisterFile", "MmioError"]
 
 
@@ -52,9 +54,9 @@ class RegisterFile:
     def __init__(self) -> None:
         self._regs: dict[int, int] = {off: 0 for off in Reg.ALL}
         self._regs[Reg.STATUS_IDLE] = 1
-        self._start_callback = None
+        self._start_callback: Callable[[], None] | None = None
 
-    def on_start(self, callback) -> None:
+    def on_start(self, callback: Callable[[], None]) -> None:
         """Hook invoked when the CPU writes 1 to CTRL_START."""
         self._start_callback = callback
 

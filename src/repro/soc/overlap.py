@@ -36,6 +36,7 @@ class OverlappedOutcome:
     def speedup(self) -> float:
         if self.overlapped_cycles == 0:
             return 1.0
+        # wfalint: disable=W002 — speedup is a derived ratio, not a counter
         return self.sequential_cycles / self.overlapped_cycles
 
 

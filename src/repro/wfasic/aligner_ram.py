@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Callable
+
 from ..align.lattice import ScoreLattice
 from ..align.kernels import compute_kernel
 from ..align.wfa import NULL_OFFSET
@@ -94,7 +96,9 @@ class RamAccurateAligner:
 
     # -- the main loop --------------------------------------------------------------
 
-    def run(self, job: ExtractedJob, probe=None) -> RamAlignerResult:
+    def run(
+        self, job: ExtractedJob, probe: Callable[..., object] | None = None
+    ) -> RamAlignerResult:
         """Align one job; ``probe(s, band, column)`` is called after each
         wavefront step with the frame column's contents (test hook)."""
         cfg = self.config
@@ -274,7 +278,9 @@ class RamAccurateAligner:
             out[np.array(valid)] = values
         return out
 
-    def _write_cell(self, ram: WavefrontWindowRam, col: int, row: int, value: int):
+    def _write_cell(
+        self, ram: WavefrontWindowRam, col: int, row: int, value: int
+    ) -> None:
         base = (row // self.config.parallel_sections) * self.config.parallel_sections
         group = np.full(
             min(self.config.parallel_sections, self._geo.rows - base),

@@ -28,7 +28,7 @@ and clamped band, hence each cell's block and slot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

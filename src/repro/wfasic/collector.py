@@ -21,6 +21,7 @@ at block granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from .aligner import AlignerRun
 from .packets import (
@@ -144,7 +145,7 @@ class CollectorBT:
                     out.extend(chunk)
         return CollectorOutput(transactions=out)
 
-    def _chunks(self, run: AlignerRun):
+    def _chunks(self, run: AlignerRun) -> Iterator[list]:
         """Per-alignment transaction stream, one block's worth at a time."""
         txns = self.frame_run(run)
         if run.bt_blocks:

@@ -66,7 +66,9 @@ def group_latencies(
 class ExtendStage:
     """Functional + cycle model of one frame column's extension."""
 
-    def __init__(self, group_size: int, timings: ExtendTimings | None = None):
+    def __init__(
+        self, group_size: int, timings: ExtendTimings | None = None
+    ) -> None:
         self.group_size = group_size
         self.timings = timings or ExtendTimings()
         self.total_cycles = 0

@@ -37,6 +37,7 @@ the score record: Success (1 byte), reached diagonal k (int16 LE), score
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -188,7 +189,7 @@ def encode_pair_record(
     )
 
 
-def encode_input_image(pairs, max_read_len: int) -> bytes:
+def encode_input_image(pairs: Iterable[Any], max_read_len: int) -> bytes:
     """Concatenated pair records for a batch (CPU 'parses the input data
     and stores them in the main memory', Fig. 4 step 1)."""
     return b"".join(

@@ -1,0 +1,54 @@
+"""Shared fixtures for the wfalint test suite.
+
+The linter lives in ``tools/`` (repository tooling, not the installed
+package), so this conftest bootstraps the repository root onto
+``sys.path``.  Tests build throwaway source trees shaped like the real
+package (``<tree>/src/repro/...``) — rule scoping is by path fragment,
+so the fixtures exercise exactly the production code paths, with none
+of the production code.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.wfalint import run_lint  # noqa: E402
+
+#: A minimal metric vocabulary for W006 fixtures (mirrors the shape of
+#: the real ``src/repro/obs/vocabulary.py``).
+VOCABULARY = """\
+METRIC_NAMES = frozenset({
+    "engine_pairs_total",
+    "engine_stage_seconds_total",
+})
+LABEL_KEYS = frozenset({"backend", "stage"})
+"""
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` under a tmp tree and lint it.
+
+    Sources are dedented so tests can use indented triple-quoted
+    fixtures.  ``with_vocabulary=True`` adds the minimal metrics
+    vocabulary module (required by W006 fixtures).  Extra keyword
+    arguments go to :func:`tools.wfalint.run_lint`.
+    """
+
+    def run(files, *, with_vocabulary=False, **kwargs):
+        if with_vocabulary:
+            files = {"src/repro/obs/vocabulary.py": VOCABULARY, **files}
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint([tmp_path], root=tmp_path, **kwargs)
+
+    run.base = tmp_path
+    return run

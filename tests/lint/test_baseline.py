@@ -1,0 +1,107 @@
+"""Baseline round-trips: grandfather, stay clean, go stale."""
+
+import json
+
+import pytest
+
+from tools.wfalint import Baseline
+
+#: A fixture file with one deliberate W001 violation.
+VIOLATION = """\
+import random
+
+def shuffle(pairs):
+    random.shuffle(pairs)
+"""
+
+FIXTURE = {"src/repro/workloads/gen.py": VIOLATION}
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_write_load_round_trip(self, lint_tree, tmp_path):
+        result = lint_tree(FIXTURE)
+        assert result.exit_code == 1
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.reported).write(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert all(f in loaded for f in result.reported)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_entry_without_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"rule": "W001"}]})
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            Baseline.load(path)
+
+
+class TestBaselineSemantics:
+    def test_grandfathered_finding_does_not_fail(self, lint_tree):
+        first = lint_tree(FIXTURE)
+        baseline = Baseline.from_findings(first.reported)
+        second = lint_tree(FIXTURE, baseline=baseline)
+        assert second.exit_code == 0
+        assert second.reported == []
+        assert [f.rule_id for f in second.baselined] == ["W001"]
+        assert second.stale_baseline == []
+
+    def test_baseline_survives_line_drift(self, lint_tree):
+        first = lint_tree(FIXTURE)
+        baseline = Baseline.from_findings(first.reported)
+        drifted = {
+            "src/repro/workloads/gen.py": "# a new header comment\n"
+            "# pushing the violation down\n" + VIOLATION
+        }
+        second = lint_tree(drifted, baseline=baseline)
+        assert second.reported == []
+        assert len(second.baselined) == 1
+
+    def test_new_finding_still_fails(self, lint_tree):
+        first = lint_tree(FIXTURE)
+        baseline = Baseline.from_findings(first.reported)
+        grown = {
+            "src/repro/workloads/gen.py": VIOLATION
+            + "\ndef roll():\n    return random.random()\n"
+        }
+        second = lint_tree(grown, baseline=baseline)
+        assert second.exit_code == 1
+        assert len(second.reported) == 1  # only the new draw
+        assert len(second.baselined) == 1
+
+    def test_fixed_finding_goes_stale(self, lint_tree):
+        first = lint_tree(FIXTURE)
+        baseline = Baseline.from_findings(first.reported)
+        fixed = {
+            "src/repro/workloads/gen.py": """\
+            import random
+
+            def shuffle(pairs, seed):
+                random.Random(seed).shuffle(pairs)
+            """
+        }
+        second = lint_tree(fixed, baseline=baseline)
+        assert second.reported == []
+        assert len(second.stale_baseline) == 1
+        assert second.stale_baseline[0]["rule"] == "W001"
+
+    def test_shipped_baseline_policy_is_empty(self):
+        # The repository policy (docs/static-analysis.md): intentional
+        # violations carry inline justifications; the committed
+        # baseline stays empty.
+        from tests.lint.conftest import REPO_ROOT
+
+        shipped = Baseline.load(
+            REPO_ROOT / "tools" / "wfalint" / "baseline.json"
+        )
+        assert len(shipped) == 0

@@ -1,0 +1,114 @@
+"""Framework mechanics: suppressions, fingerprints, registry, scoping."""
+
+import pytest
+
+from tools.wfalint import Finding, Rule, register
+from tools.wfalint.core import parse_suppressions
+
+
+class TestParseSuppressions:
+    def test_single_rule_same_line(self):
+        lines = ["x = 1", "y = foo()  # wfalint: disable=W001"]
+        assert parse_suppressions(lines) == {2: {"W001"}}
+
+    def test_multiple_rules_and_justification(self):
+        lines = ["# wfalint: disable=W001,W002 — a rate, not a counter"]
+        assert parse_suppressions(lines) == {1: {"W001", "W002"}}
+
+    def test_all(self):
+        assert parse_suppressions(["z()  # wfalint: disable=all"]) == {
+            1: {"all"}
+        }
+
+    def test_lowercase_ids_normalised(self):
+        assert parse_suppressions(["# wfalint: disable=w003"]) == {1: {"W003"}}
+
+    def test_justification_words_not_parsed_as_rules(self):
+        # The rule list ends at the first non-id token; trailing prose
+        # must not turn into bogus rule names.
+        (rules,) = parse_suppressions(
+            ["# wfalint: disable=W002 W004 looks similar but is prose"]
+        ).values()
+        assert rules == {"W002"}
+
+    def test_plain_comments_ignored(self):
+        lines = ["# wfalint is great", "# disable=W001", "x = 1"]
+        assert parse_suppressions(lines) == {}
+
+
+class TestFingerprint:
+    def _finding(self, line, source_line, path="src/repro/a.py"):
+        return Finding(
+            rule_id="W001",
+            severity="error",
+            path=path,
+            line=line,
+            col=0,
+            message="m",
+            source_line=source_line,
+        )
+
+    def test_stable_under_line_drift(self):
+        # The same offending code moving down a file (unrelated edits
+        # above) keeps its identity — it stays grandfathered.
+        a = self._finding(10, "x = random.random()")
+        b = self._finding(42, "x = random.random()")
+        assert a.fingerprint == b.fingerprint
+
+    def test_changes_when_code_changes(self):
+        a = self._finding(10, "x = random.random()")
+        b = self._finding(10, "x = random.uniform(0, 1)")
+        assert a.fingerprint != b.fingerprint
+
+    def test_changes_across_paths_and_rules(self):
+        a = self._finding(10, "x = 1")
+        b = self._finding(10, "x = 1", path="src/repro/b.py")
+        assert a.fingerprint != b.fingerprint
+
+
+class TestRegistry:
+    def test_bad_id_rejected(self):
+        class BadId(Rule):
+            id = "X1"
+
+        with pytest.raises(ValueError, match="id like"):
+            register(BadId)
+
+    def test_bad_severity_rejected(self):
+        class BadSeverity(Rule):
+            id = "W999"
+            severity = "fatal"
+
+        with pytest.raises(ValueError, match="severity"):
+            register(BadSeverity)
+
+    def test_duplicate_id_rejected(self):
+        class Dup(Rule):
+            id = "W001"  # already taken by the built-in rule
+            severity = "error"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Dup)
+
+
+class TestScoping:
+    def _rule(self, fragments=(), excludes=()):
+        rule = Rule()
+        rule.path_fragments = fragments
+        rule.exclude_fragments = excludes
+        return rule
+
+    def test_empty_fragments_match_everything(self):
+        assert self._rule().applies("anything/at/all.py")
+
+    def test_fragment_substring_match(self):
+        rule = self._rule(fragments=("repro/wfasic/",))
+        assert rule.applies("src/repro/wfasic/extend.py")
+        assert not rule.applies("src/repro/engine/engine.py")
+
+    def test_exclude_wins(self):
+        rule = self._rule(
+            fragments=("repro/",), excludes=("repro/cli.py",)
+        )
+        assert rule.applies("src/repro/engine/engine.py")
+        assert not rule.applies("src/repro/cli.py")

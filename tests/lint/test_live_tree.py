@@ -1,0 +1,47 @@
+"""The committed source tree itself passes the committed gate.
+
+This is the test-suite twin of the CI ``static-analysis`` job: if a
+change introduces a wfalint finding (or an unjustified suppression
+drift), it fails here first, locally, with the same message CI would
+print.
+"""
+
+from tools.wfalint import Baseline, DEFAULT_BASELINE_PATH, run_lint
+
+from .conftest import REPO_ROOT
+
+
+def _live_result():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    return run_lint([REPO_ROOT / "src"], root=REPO_ROOT, baseline=baseline)
+
+
+class TestLiveTree:
+    def test_src_tree_is_clean(self):
+        result = _live_result()
+        formatted = "\n".join(f.format() for f in result.reported)
+        assert result.reported == [], f"wfalint findings:\n{formatted}"
+        assert result.parse_errors == []
+        assert result.exit_code == 0
+
+    def test_no_stale_baseline_entries(self):
+        assert _live_result().stale_baseline == []
+
+    def test_every_file_was_seen(self):
+        # A wrong skip-list or glob that silently unscoped the pass
+        # would show up as a collapsing file count.
+        assert _live_result().files_checked > 50
+
+    def test_suppressions_are_justified(self):
+        # Policy: every inline suppression carries prose after the rule
+        # list (see docs/static-analysis.md).  An em-dash-free bare
+        # directive is a review smell the suite rejects outright.
+        result = _live_result()
+        for finding in result.suppressed:
+            src = (REPO_ROOT / finding.path).read_text().splitlines()
+            window = "\n".join(
+                src[max(0, finding.line - 2): finding.line]
+            )
+            assert "—" in window.split("disable=")[-1], (
+                f"unjustified suppression near {finding.path}:{finding.line}"
+            )

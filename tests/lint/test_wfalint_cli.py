@@ -1,0 +1,158 @@
+"""The wfalint command line: exit codes, JSON report, rule filters."""
+
+import json
+
+import pytest
+
+from tools.wfalint import main as wfalint_main
+from tools.wfalint import rule_ids
+
+from .test_baseline import FIXTURE
+
+
+def _write(base, files):
+    import textwrap
+
+    for rel, source in files.items():
+        path = base / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, {"src/repro/clean.py": "x = 1\n"})
+        code = wfalint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "W001" in out and "gen.py" in out
+
+    def test_unparsable_file_exits_one(self, tmp_path, capsys):
+        _write(tmp_path, {"src/repro/broken.py": "def f(:\n"})
+        code = wfalint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 1
+        assert "unparsable" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = wfalint_main(
+            [str(tmp_path / "nope"), "--root", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            wfalint_main(
+                [str(tmp_path), "--root", str(tmp_path), "--select", "W777"]
+            )
+
+
+class TestFilters:
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--select", "W002"]
+        )
+        assert code == 0  # the W001 violation is out of scope
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--ignore", "W001"]
+        )
+        assert code == 0
+
+
+class TestJsonOutput:
+    def test_json_format_schema(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["summary"]["reported"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "W001"
+        assert finding["path"].endswith("gen.py")
+        assert finding["fingerprint"]
+        # Rule metadata rides along so the artifact is self-describing.
+        assert {r["id"] for r in doc["rules"]} == set(rule_ids())
+
+    def test_json_report_artifact(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        report = tmp_path / "wfalint-report.json"
+        wfalint_main(
+            [
+                str(tmp_path),
+                "--root",
+                str(tmp_path),
+                "--json-report",
+                str(report),
+            ]
+        )
+        doc = json.loads(report.read_text())
+        assert doc["summary"]["reported"] == 1
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        baseline = tmp_path / "baseline.json"
+        common = [
+            str(tmp_path),
+            "--root",
+            str(tmp_path),
+            "--baseline",
+            str(baseline),
+        ]
+        assert wfalint_main(common) == 1
+        assert wfalint_main(common + ["--update-baseline"]) == 0
+        assert baseline.is_file()
+        assert wfalint_main(common) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        _write(tmp_path, FIXTURE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 42}')
+        code = wfalint_main(
+            [
+                str(tmp_path),
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 2
+
+
+class TestListRules:
+    def test_lists_every_registered_rule(self, capsys):
+        assert wfalint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+        assert "invariant:" in out
+
+
+class TestReproWfasicLintSubcommand:
+    def test_delegates_and_is_clean_on_this_checkout(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_forwards_arguments(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "--", "--list-rules"]) == 0
+        assert "W001" in capsys.readouterr().out

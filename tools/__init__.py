@@ -1,0 +1,9 @@
+"""Repository tooling (not shipped with the ``repro`` package).
+
+Subpackages/scripts:
+
+* ``tools.wfalint`` — the domain-aware static-analysis pass
+  (``python -m tools.wfalint``, see ``docs/static-analysis.md``);
+* ``tools/check_docs.py`` — markdown link check + docstring coverage;
+* ``tools/sync_readme.py`` — README CLI-reference generator.
+"""

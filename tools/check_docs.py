@@ -50,6 +50,7 @@ COVERED_MODULES = (
     "repro.obs.manifest",
     "repro.obs.schema",
     "repro.obs.publish",
+    "repro.obs.vocabulary",
     "repro.engine",
     "repro.engine.engine",
     "repro.engine.backends",

@@ -1,0 +1,48 @@
+"""wfalint — domain-aware static analysis for the WFAsic reproduction.
+
+An AST-based pass with a pluggable rule registry, per-rule severity,
+inline ``# wfalint: disable=RULE`` suppression, a committed baseline
+for grandfathered findings, and text/JSON output.  The eight built-in
+rules (W001–W008) machine-check the repository's correctness contracts
+— seed-reproducible runs, integral cycle accounting, the engine's
+fault-isolation and pickling contracts, the closed metrics vocabulary —
+*before* code runs; the differential tests can only sample them.
+
+Run ``python -m tools.wfalint src`` from the repository root (or
+``repro-wfasic lint`` from a checkout); see ``docs/static-analysis.md``
+for the rule reference and extension guide.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, DEFAULT_BASELINE_PATH
+from .cli import build_parser, main
+from .core import (
+    FileContext,
+    Finding,
+    Rule,
+    get_rule,
+    iter_rules,
+    register,
+    rule_ids,
+)
+from .runner import LintResult, collect_files, run_lint
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "build_parser",
+    "collect_files",
+    "get_rule",
+    "iter_rules",
+    "main",
+    "register",
+    "rule_ids",
+    "run_lint",
+]
+
+__version__ = "1.0.0"

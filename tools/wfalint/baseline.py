@@ -1,0 +1,89 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+The baseline exists so the pass can be adopted (and new rules added)
+without blocking on a flag-day cleanup: ``--update-baseline`` records
+today's findings, CI fails only on *new* ones.  Entries match by
+:attr:`~tools.wfalint.core.Finding.fingerprint` — a hash of (rule,
+path, stripped source line) — so unrelated edits moving a finding a few
+lines do not un-grandfather it, while editing the offending line itself
+does (the right moment to fix it properly).
+
+This repository's policy (see ``docs/static-analysis.md``) is stricter
+than the mechanism: intentional violations get an inline
+``# wfalint: disable=`` with a one-line justification, and the shipped
+baseline stays empty.  The mechanism is still load-bearing for the
+roadmap item extending the pass to ``benchmarks/``/``examples/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+#: Where the committed baseline lives, relative to the repository root.
+DEFAULT_BASELINE_PATH = "tools/wfalint/baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints, JSON round-trippable."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries: list[dict] = list(entries or [])
+        self._fingerprints = {e["fingerprint"] for e in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        if not path.is_file():
+            return cls()
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if doc.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {doc.get('version')!r}"
+            )
+        entries = doc.get("findings", [])
+        for entry in entries:
+            if "fingerprint" not in entry:
+                raise ValueError(f"{path}: baseline entry without fingerprint")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly ``findings``."""
+        entries = [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in sorted(
+                findings, key=lambda f: (f.path, f.line, f.rule_id)
+            )
+        ]
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        """Serialise (sorted, one canonical form — diffs stay readable)."""
+        doc = {"version": _VERSION, "findings": self.entries}
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale_entries(self, findings: list[Finding]) -> list[dict]:
+        """Baseline entries no current finding matches (candidates to drop)."""
+        live = {f.fingerprint for f in findings}
+        return [e for e in self.entries if e["fingerprint"] not in live]

@@ -1,0 +1,230 @@
+"""Command-line front end for wfalint.
+
+Run from the repository root::
+
+    python -m tools.wfalint src            # lint the package (CI gate)
+    python -m tools.wfalint --list-rules   # what the rules protect
+    python -m tools.wfalint src --format json
+    python -m tools.wfalint src --update-baseline
+
+Exit codes: 0 clean, 1 findings (or unparsable files), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline, DEFAULT_BASELINE_PATH
+from .core import iter_rules, rule_ids
+from .runner import LintResult, run_lint
+
+__all__ = ["main", "build_parser"]
+
+_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``wfalint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="wfalint",
+        description=(
+            "Domain-aware static analysis for the WFAsic reproduction "
+            "(see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: <--root>/src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root for path scoping / relpaths (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="PATH",
+        help="additionally write the JSON report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE_PATH} under --root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed/baselined findings (informational)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    return parser
+
+
+def _parse_rule_set(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    ids = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    unknown = ids - set(rule_ids())
+    if unknown:
+        raise SystemExit(f"wfalint: unknown rule ids: {sorted(unknown)}")
+    return ids
+
+
+def _format_rules() -> str:
+    lines = []
+    for rule in iter_rules():
+        lines.append(f"{rule.id} {rule.name} [{rule.severity}]")
+        lines.append(f"    {rule.description}")
+        lines.append(f"    invariant: {rule.invariant}")
+        scope = ", ".join(rule.path_fragments) or "everywhere"
+        lines.append(f"    scope: {scope}")
+    return "\n".join(lines)
+
+
+def _json_report(result: LintResult) -> dict:
+    """The machine-readable report (uploaded as a CI artifact)."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "tool": "wfalint",
+        "summary": result.summary(),
+        "findings": [f.as_dict() for f in result.reported],
+        "parse_errors": [f.as_dict() for f in result.parse_errors],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "baselined": [f.as_dict() for f in result.baselined],
+        "stale_baseline": result.stale_baseline,
+        "rules": [
+            {
+                "id": r.id,
+                "name": r.name,
+                "severity": r.severity,
+                "description": r.description,
+                "invariant": r.invariant,
+            }
+            for r in iter_rules()
+        ],
+    }
+
+
+def _text_report(result: LintResult, show_suppressed: bool) -> str:
+    lines = [f.format() for f in result.parse_errors]
+    lines += [f.format() for f in result.reported]
+    if show_suppressed:
+        lines += [
+            f.format() + "  (suppressed inline)" for f in result.suppressed
+        ]
+        lines += [
+            f.format() + "  (baselined)" for f in result.baselined
+        ]
+    s = result.summary()
+    lines.append(
+        f"wfalint: {s['reported']} finding(s) "
+        f"({s['errors']} error(s), {s['warnings']} warning(s)), "
+        f"{s['suppressed']} suppressed, {s['baselined']} baselined, "
+        f"{s['files_checked']} file(s) checked"
+    )
+    if s["parse_errors"]:
+        lines.append(f"wfalint: {s['parse_errors']} unparsable file(s)")
+    if s["stale_baseline"]:
+        lines.append(
+            f"wfalint: {s['stale_baseline']} stale baseline entr(y/ies) — "
+            "rerun with --update-baseline to prune"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (also reached via ``python -m tools.wfalint``)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_format_rules())
+        return 0
+
+    root = Path(args.root).resolve()
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else root / DEFAULT_BASELINE_PATH
+    )
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"wfalint: bad baseline: {exc}", file=sys.stderr)
+        return 2
+
+    # The default target is `src` under --root, not under the cwd, so
+    # `repro-wfasic lint -- --format json` works from any directory.
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"wfalint: no such path: {missing}", file=sys.stderr)
+        return 2
+
+    result = run_lint(
+        paths,
+        root=root,
+        baseline=baseline,
+        select=_parse_rule_set(args.select),
+        ignore=_parse_rule_set(args.ignore),
+    )
+
+    if args.update_baseline:
+        # Grandfather what the run reported (suppressed findings stay
+        # suppressed inline; already-baselined ones stay baselined).
+        new_baseline = Baseline.from_findings(
+            result.reported + result.baselined
+        )
+        new_baseline.write(baseline_path)
+        print(
+            f"wfalint: baseline updated with {len(new_baseline)} finding(s) "
+            f"at {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(_json_report(result), indent=2))
+    else:
+        print(_text_report(result, args.show_suppressed))
+    if args.json_report:
+        Path(args.json_report).write_text(
+            json.dumps(_json_report(result), indent=2) + "\n",
+            encoding="utf-8",
+        )
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,235 @@
+"""Core wfalint types: findings, rules, the registry, suppressions.
+
+The framework is deliberately small: a rule is a class with an ``id``
+(``W###``), a ``severity``, a set of path fragments scoping where it
+applies, and a ``check(ctx)`` method that walks the file's AST and
+yields :class:`Finding` objects.  Everything else (inline suppression,
+the committed baseline, output formatting) is handled uniformly by the
+runner so rules stay single-purpose.
+
+Rules register themselves with the :func:`register` decorator; the
+registry maps rule ids to singleton instances.  Third parties (or
+future PRs extending the pass to ``benchmarks/``/``examples/``) add a
+rule by importing :mod:`tools.wfalint.core` and decorating a subclass —
+no framework edits needed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "get_rule",
+    "iter_rules",
+    "rule_ids",
+    "parse_suppressions",
+]
+
+#: Ordered severity levels (display + filtering; every reported finding
+#: fails the run regardless of severity — CI must not accrue warnings).
+SEVERITIES = ("warning", "error")
+
+Severity = str
+
+#: ``# wfalint: disable=W001,W002`` or ``disable=all`` — the directive
+#: suppresses matching findings on its own line.  Anything after the
+#: rule list (conventionally an em-dash justification) is free text.
+_SUPPRESS_RE = re.compile(
+    r"#\s*wfalint:\s*disable=(all|[Ww]\d{3}(?:\s*,\s*[Ww]\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str  # repo-root-relative, POSIX separators
+    line: int  # 1-based
+    col: int  # 0-based, as reported by the AST
+    message: str
+    #: The stripped source line, used for the baseline fingerprint so
+    #: grandfathered findings survive unrelated line-number drift.
+    source_line: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (rule, path, code)."""
+        payload = f"{self.rule_id}\0{self.path}\0{self.source_line}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly view (the ``--json-report`` schema)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format(self) -> str:
+        """``path:line:col: RULE [severity] message`` (one text line)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    path: Path  # absolute
+    relpath: str  # repo-root-relative, POSIX separators
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "FileContext":
+        """Parse ``path`` (raises ``SyntaxError`` on unparsable files)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(
+            path=path,
+            relpath=rel,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def source_line(self, lineno: int) -> str:
+        """The stripped source text of 1-based ``lineno`` ('' if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for wfalint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``path_fragments`` scopes the rule: it applies when any fragment is
+    a substring of the file's POSIX relpath (empty tuple = every file).
+    That fragment matching — rather than absolute paths — is what lets
+    the test suite exercise rules on fixture trees laid out like the
+    real package (``.../repro/wfasic/...``).
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = "error"
+    description: str = ""
+    #: The repository invariant the rule protects (rendered by
+    #: ``--list-rules`` and docs/static-analysis.md).
+    invariant: str = ""
+    path_fragments: tuple[str, ...] = ()
+    #: Fragments that exempt a file even when ``path_fragments`` match.
+    exclude_fragments: tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        """Whether this rule runs on ``relpath`` at all."""
+        if any(frag in relpath for frag in self.exclude_fragments):
+            return False
+        if not self.path_fragments:
+            return True
+        return any(frag in relpath for frag in self.path_fragments)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            source_line=ctx.source_line(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (as a singleton) to the registry."""
+    if not cls.id or not re.fullmatch(r"W\d{3}", cls.id):
+        raise ValueError(f"rule {cls.__name__} needs an id like 'W001'")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.id}: severity must be one of {SEVERITIES}"
+        )
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    """The registered rule for ``rule_id`` (``KeyError`` if unknown)."""
+    return _REGISTRY[rule_id]
+
+
+def iter_rules() -> list[Rule]:
+    """All registered rules, ordered by id."""
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    """Sorted registered rule ids."""
+    return sorted(_REGISTRY)
+
+
+def parse_suppressions(lines: Iterable[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line.
+
+    ``{'all'}`` means every rule is suppressed on the line.  The runner
+    applies a line's directives to findings on that line and — when the
+    directive line is a pure comment — to findings on the next line;
+    either way the justification sits next to the code it excuses.
+    """
+    suppressions: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "wfalint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        spec = match.group(1)
+        if spec.strip().lower() == "all":
+            suppressions[lineno] = {"all"}
+        else:
+            rules = {
+                part.strip().upper()
+                for part in spec.split(",")
+                if part.strip()
+            }
+            if rules:
+                suppressions[lineno] = rules
+    return suppressions

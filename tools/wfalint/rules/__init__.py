@@ -1,0 +1,37 @@
+"""Built-in wfalint rules.
+
+Importing this package registers every built-in rule with
+:mod:`tools.wfalint.core`.  Each module groups rules by the invariant
+family they protect:
+
+* :mod:`.determinism` — W001 (seeded randomness), W007 (no wall-clock
+  in the cycle-accurate models);
+* :mod:`.cycles` — W002 (integral cycle arithmetic);
+* :mod:`.robustness` — W003 (no blanket excepts in worker paths),
+  W004 (no mutable default arguments);
+* :mod:`.pickle_boundary` — W005 (nothing unpicklable stored on
+  objects that cross the multiprocessing boundary);
+* :mod:`.metrics_vocab` — W006 (metric names/labels from the declared
+  vocabulary);
+* :mod:`.output` — W008 (no bare ``print`` in library modules).
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  — imported for their registration side effect
+    cycles,
+    determinism,
+    metrics_vocab,
+    output,
+    pickle_boundary,
+    robustness,
+)
+
+__all__ = [
+    "cycles",
+    "determinism",
+    "metrics_vocab",
+    "output",
+    "pickle_boundary",
+    "robustness",
+]

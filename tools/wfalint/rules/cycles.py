@@ -1,0 +1,130 @@
+"""W002 — cycle counters stay integral in the hardware models.
+
+The paper's evaluation methodology counts cycles on real hardware
+(FPGA counters, §5) and every comparison table in the reproduction
+(`Table 1`, `EXPERIMENTS.md`) asserts *exact* cycle counts.  A single
+true division on a cycle counter turns the bit-exact accounting into a
+float — and float cycle totals merge, compare and serialise
+differently.  Deriving a float *ratio* from cycle counts (GCUPS,
+speedups, cycles-per-access) is legitimate, but belongs in
+``repro.metrics`` / ``repro.reporting``; inside ``repro.wfasic`` and
+``repro.soc`` it must be explicitly waived with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+#: Names that carry simulated-cycle counts by convention: ``cycles``,
+#: ``total_cycles``, ``cycle_count``, ``compute_cycles``, ...
+_CYCLE_NAME_RE = re.compile(r"(^|_)(n_)?cycles?($|_)")
+
+
+def _cycle_name(node: ast.expr) -> str | None:
+    """The cycle-counter name if ``node`` refers to one, else ``None``."""
+    if isinstance(node, ast.Name) and _CYCLE_NAME_RE.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _CYCLE_NAME_RE.search(node.attr):
+        return node.attr
+    return None
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatCycleArithmeticRule(Rule):
+    """W002 — no float arithmetic on cycle counters in model code."""
+
+    id = "W002"
+    name = "float-cycle-arithmetic"
+    severity = "error"
+    description = (
+        "True division, `float()` casts and float literals on "
+        "cycle-counter-named variables/attributes are forbidden in "
+        "`repro.wfasic` / `repro.soc` (use `//` ceiling/floor division; "
+        "derive ratios in `repro.metrics`).  Explicitly `: float`-"
+        "annotated declarations (calibrated rate constants) are exempt."
+    )
+    invariant = (
+        "Cycle counts are integral and bit-exact per the paper's FPGA "
+        "counter methodology; Table 1 comparisons assert equality."
+    )
+    path_fragments = ("repro/wfasic/", "repro/soc/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                name = _cycle_name(node.left) or _cycle_name(node.right)
+                if name is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"true division on cycle counter `{name}` produces "
+                        "a float; use `//` (or move the ratio to "
+                        "repro.metrics)",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Div
+            ):
+                name = _cycle_name(node.target)
+                if name is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`/=` on cycle counter `{name}` makes it a float; "
+                        "use `//=`",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "float"
+                    and node.args
+                ):
+                    name = _cycle_name(node.args[0])
+                    if name is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`float({name})` casts a cycle counter; keep "
+                            "cycle accounting integral in model code",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                # An explicit `: float` annotation is a visible, reviewed
+                # declaration of a *rate* (e.g. the CpuTimings calibration
+                # constants — cycles per operation); the rule targets
+                # accidental float-ification, not declared rates.
+                if isinstance(node, ast.AnnAssign) and (
+                    isinstance(node.annotation, ast.Name)
+                    and node.annotation.id == "float"
+                ):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if value is None or not _is_float_literal(value):
+                    continue
+                for target in targets:
+                    name = _cycle_name(target)
+                    if name is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"float literal assigned to cycle counter "
+                            f"`{name}`; cycle counts are integers",
+                        )

@@ -1,0 +1,229 @@
+"""Determinism rules: W001 (seeded randomness), W007 (no wall-clock).
+
+The repository's reproducibility contract is that a simulated run is a
+pure function of its inputs plus the manifest seed
+(``RunManifest.for_run`` records the seed precisely so a run can be
+replayed).  Two things silently break that contract: drawing from an
+*unseeded* random source, and reading the wall clock inside the
+cycle-accurate models (simulated cycle counts must not depend on how
+fast the host happens to be).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+#: ``random`` module attributes that are fine to touch: constructing an
+#: explicitly seeded generator instance is the sanctioned pattern.
+_RANDOM_CONSTRUCTORS = {"Random"}
+
+#: ``numpy.random`` attributes that construct an explicit generator.
+_NUMPY_CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+#: Wall-clock reads banned inside the hardware models (W007).  ``time``
+#: attributes not listed here (``sleep`` never belongs in a simulator
+#: either, but it does not *corrupt results*, it only wastes them).
+_WALLCLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names bound to ``module`` by ``import``/``import .. as``."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            parent, _, leaf = module.rpartition(".")
+            if parent and node.module == parent:
+                for alias in node.names:
+                    if alias.name == leaf:
+                        aliases.add(alias.asname or leaf)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """``{local_name: original_name}`` for ``from module import ...``."""
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name != "*":
+                    names[alias.asname or alias.name] = alias.name
+    return names
+
+
+@register
+class UnseededRandomRule(Rule):
+    """W001 — every random draw must come from an explicitly seeded generator."""
+
+    id = "W001"
+    name = "unseeded-random"
+    severity = "error"
+    description = (
+        "Calls into the process-global `random` / `numpy.random` state "
+        "are forbidden; construct `random.Random(seed)` or "
+        "`numpy.random.default_rng(seed)` instead."
+    )
+    invariant = (
+        "A simulated run is reproducible from the manifest seed alone; "
+        "global RNG state is invisible to the manifest."
+    )
+    path_fragments = ("repro/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        random_aliases = _module_aliases(ctx.tree, "random")
+        np_aliases = _module_aliases(ctx.tree, "numpy")
+        npr_aliases = _module_aliases(ctx.tree, "numpy.random")
+        random_funcs = {
+            local: orig
+            for local, orig in _from_imports(ctx.tree, "random").items()
+            if orig not in _RANDOM_CONSTRUCTORS
+        }
+        npr_funcs = {
+            local: orig
+            for local, orig in _from_imports(ctx.tree, "numpy.random").items()
+            if orig not in _NUMPY_CONSTRUCTORS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in random_funcs:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{func.id}` draws from the global `random` state; "
+                        "use an explicit `random.Random(seed)` instance",
+                    )
+                elif func.id in npr_funcs:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{func.id}` uses the legacy global numpy RNG; "
+                        "use `numpy.random.default_rng(seed)`",
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = func.value
+            # random.<fn>(...)
+            if isinstance(owner, ast.Name) and owner.id in random_aliases:
+                if func.attr in _RANDOM_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`{owner.id}.{func.attr}()` without a seed is "
+                            "nondeterministic; pass the run seed",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{owner.id}.{func.attr}(...)` mutates/draws from "
+                        "the global `random` state; use a seeded "
+                        "`random.Random` instance",
+                    )
+                continue
+            # numpy.random.<fn>(...) or npr_alias.<fn>(...)
+            np_random = (
+                isinstance(owner, ast.Attribute)
+                and owner.attr == "random"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id in np_aliases
+            ) or (isinstance(owner, ast.Name) and owner.id in npr_aliases)
+            if np_random:
+                if func.attr in _NUMPY_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`{func.attr}()` without a seed is "
+                            "nondeterministic; pass the run seed",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`numpy.random.{func.attr}(...)` uses the legacy "
+                        "global numpy RNG; use "
+                        "`numpy.random.default_rng(seed)`",
+                    )
+
+
+@register
+class WallClockInModelRule(Rule):
+    """W007 — the hardware models never read the wall clock."""
+
+    id = "W007"
+    name = "wallclock-in-model"
+    severity = "error"
+    description = (
+        "`time.time`/`perf_counter`/`monotonic` (and `datetime.now`) are "
+        "forbidden inside `repro.wfasic` / `repro.soc`: simulated-cycle "
+        "results must not depend on host speed."
+    )
+    invariant = (
+        "Cycle accounting is a function of the model and its inputs "
+        "(paper §4/§5 methodology); wall-clock reads belong to the "
+        "observability layer."
+    )
+    path_fragments = ("repro/wfasic/", "repro/soc/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        time_aliases = _module_aliases(ctx.tree, "time")
+        datetime_aliases = _module_aliases(ctx.tree, "datetime.datetime") | (
+            _from_imports(ctx.tree, "datetime").keys()
+            & {"datetime", "date"}
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALLCLOCK_ATTRS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"importing `time.{alias.name}` into model code; "
+                            "wall-clock must not leak into simulated cycles",
+                        )
+            elif isinstance(node, ast.Attribute):
+                owner = node.value
+                if (
+                    isinstance(owner, ast.Name)
+                    and owner.id in time_aliases
+                    and node.attr in _WALLCLOCK_ATTRS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{owner.id}.{node.attr}` reads the wall clock "
+                        "inside a cycle-accurate model",
+                    )
+                elif (
+                    isinstance(owner, ast.Name)
+                    and owner.id in datetime_aliases
+                    and node.attr in _DATETIME_NOW
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{owner.id}.{node.attr}` reads the wall clock "
+                        "inside a cycle-accurate model",
+                    )

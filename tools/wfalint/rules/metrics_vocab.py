@@ -1,0 +1,358 @@
+"""W006 — metric names and label keys come from the declared vocabulary.
+
+PR-4's multiprocessing story depends on snapshots from different
+processes *merging*: ``merge_snapshots`` folds series by ``(name,
+label-key)`` identity, and ``docs/observability.md`` promises operators
+a closed vocabulary.  A typo'd metric name (``engine_pair_total``) or
+an ad-hoc label key silently forks a series — the merge still succeeds,
+the dashboard just quietly splits.  The vocabulary is *declared in
+code* (``src/repro/obs/vocabulary.py``) and this rule holds every
+``registry.counter/gauge/histogram`` call site (and the label dicts fed
+to ``inc``/``set``/``observe``) to it.
+
+Name resolution is deliberately small but understands this
+repository's two real dynamic patterns:
+
+* a name bound by iterating a literal tuple-of-tuples
+  (``for counter, help, value in (("engine_pairs_total", ...), ...)``),
+* an f-string whose formatted fields are treated as wildcards
+  (``f"{prefix}_stage_seconds_total"`` matches
+  ``engine_stage_seconds_total``).
+
+Anything else non-literal is itself a finding: the vocabulary can only
+be checked when names are visible to the checker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+#: Registry factory methods whose first argument is a metric name.
+_FACTORY_METHODS = {"counter", "gauge", "histogram"}
+
+#: Metric update methods that accept a ``labels`` dict (second
+#: positional argument or ``labels=`` keyword).
+_UPDATE_METHODS = {"inc", "set", "observe"}
+
+#: Candidate vocabulary locations relative to the lint root, in order.
+_VOCAB_CANDIDATES = (
+    "src/repro/obs/vocabulary.py",
+    "repro/obs/vocabulary.py",
+)
+
+_VOCAB_CACHE: dict[str, tuple[frozenset, frozenset] | None] = {}
+
+
+def _literal_strings(node: ast.expr) -> set[str]:
+    """String constants inside a literal set/frozenset/tuple/list display."""
+    values: set[str] = set()
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "frozenset" and node.args:
+            return _literal_strings(node.args[0])
+        return values
+    for elt in getattr(node, "elts", []):
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            values.add(elt.value)
+    return values
+
+
+def load_vocabulary(root: Path) -> tuple[frozenset, frozenset] | None:
+    """``(metric_names, label_keys)`` declared under ``root``, if any.
+
+    The vocabulary module is parsed, not imported, so the linter works
+    on trees that are not importable (fixtures, partial checkouts).
+    """
+    key = str(root.resolve())
+    if key not in _VOCAB_CACHE:
+        _VOCAB_CACHE[key] = _load_vocabulary_uncached(root)
+    return _VOCAB_CACHE[key]
+
+
+def _load_vocabulary_uncached(
+    root: Path,
+) -> tuple[frozenset, frozenset] | None:
+    for candidate in _VOCAB_CANDIDATES:
+        path = root / candidate
+        if path.is_file():
+            break
+    else:
+        return None
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    metric_names: set[str] = set()
+    label_keys: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id == "METRIC_NAMES":
+            metric_names = _literal_strings(node.value)
+        elif target.id == "LABEL_KEYS":
+            label_keys = _literal_strings(node.value)
+    if not metric_names:
+        return None
+    return frozenset(metric_names), frozenset(label_keys)
+
+
+class _LiteralBindings(ast.NodeVisitor):
+    """File-wide map of names to the string constants they may hold.
+
+    Over-approximates scoping (the whole file is one namespace), which
+    is safe for a linter: a binding only ever *adds* admissible values.
+    Handles plain ``name = "literal"`` assignments and tuple-unpacking
+    ``for`` loops over fully-literal tuple/list iterables.
+    """
+
+    def __init__(self) -> None:
+        self.values: dict[str, set[str]] = {}
+        #: Names assigned something the visitor cannot resolve; they
+        #: must not be treated as literal even if also bound literally.
+        self.tainted: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str
+            ):
+                self.values.setdefault(name, set()).add(node.value.value)
+            else:
+                self.tainted.add(name)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        target, it = node.target, node.iter
+        if isinstance(target, ast.Tuple) and isinstance(
+            it, (ast.Tuple, ast.List)
+        ):
+            for idx, elt_target in enumerate(target.elts):
+                if not isinstance(elt_target, ast.Name):
+                    continue
+                slot_values: set[str] = set()
+                resolvable = True
+                for row in it.elts:
+                    if (
+                        isinstance(row, (ast.Tuple, ast.List))
+                        and idx < len(row.elts)
+                        and isinstance(row.elts[idx], ast.Constant)
+                    ):
+                        value = row.elts[idx].value
+                        if isinstance(value, str):
+                            slot_values.add(value)
+                        else:
+                            resolvable = False
+                    else:
+                        resolvable = False
+                if resolvable and slot_values:
+                    self.values.setdefault(elt_target.id, set()).update(
+                        slot_values
+                    )
+                else:
+                    self.tainted.add(elt_target.id)
+        self.generic_visit(node)
+
+
+def _fstring_pattern(node: ast.JoinedStr) -> str | None:
+    """A regex matching the f-string with formatted fields as wildcards."""
+    parts: list[str] = []
+    for piece in node.values:
+        if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+            parts.append(re.escape(piece.value))
+        elif isinstance(piece, ast.FormattedValue):
+            parts.append(r"[a-zA-Z0-9_]+")
+        else:
+            return None
+    return "".join(parts)
+
+
+@register
+class MetricVocabularyRule(Rule):
+    """W006 — registry call sites stay inside the declared vocabulary."""
+
+    id = "W006"
+    name = "metric-vocabulary"
+    severity = "error"
+    description = (
+        "`registry.counter/gauge/histogram` names and label-dict keys "
+        "must be string literals (or statically resolvable) drawn from "
+        "`repro.obs.vocabulary` — typos fork metric series silently."
+    )
+    invariant = (
+        "Snapshots from any process merge by (name, labels) identity; "
+        "the vocabulary in docs/observability.md is closed."
+    )
+    path_fragments = ("repro/",)
+    # The registry implementation manipulates names generically; the
+    # vocabulary module is the source of truth, not a call site.
+    exclude_fragments = ("repro/obs/metrics.py", "repro/obs/vocabulary.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        calls = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and (
+                (node.func.attr in _FACTORY_METHODS and node.args)
+                or node.func.attr in _UPDATE_METHODS
+            )
+        ]
+        factory_calls = [
+            c for c in calls if c.func.attr in _FACTORY_METHODS and c.args
+        ]
+        update_calls = [c for c in calls if c.func.attr in _UPDATE_METHODS]
+        if not factory_calls and not update_calls:
+            return
+        root = self._lint_root(ctx)
+        vocab = load_vocabulary(root)
+        if vocab is None:
+            if factory_calls:
+                yield self.finding(
+                    ctx,
+                    factory_calls[0],
+                    "metric call sites found but no metric vocabulary "
+                    "(repro/obs/vocabulary.py with METRIC_NAMES) under "
+                    f"lint root {root}",
+                )
+            return
+        metric_names, label_keys = vocab
+        bindings = _LiteralBindings()
+        bindings.visit(ctx.tree)
+        dict_bindings: dict[str, list[ast.Dict]] = {}
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Dict)
+            ):
+                dict_bindings.setdefault(node.targets[0].id, []).append(
+                    node.value
+                )
+        for call in factory_calls:
+            yield from self._check_name(ctx, call, metric_names, bindings)
+        seen_displays: set[int] = set()
+        for call in update_calls:
+            yield from self._check_labels(
+                ctx, call, label_keys, dict_bindings, seen_displays
+            )
+
+    @staticmethod
+    def _lint_root(ctx: FileContext) -> Path:
+        """The directory ``relpath`` is relative to (the lint root)."""
+        parts = Path(ctx.relpath).parts
+        path = ctx.path.resolve()
+        if path.parts[-len(parts):] == parts:
+            return Path(*path.parts[: len(path.parts) - len(parts)])
+        return Path.cwd()
+
+    def _check_name(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        metric_names: frozenset,
+        bindings: _LiteralBindings,
+    ) -> Iterator[Finding]:
+        method = call.func.attr  # type: ignore[union-attr]
+        name_arg = call.args[0]
+        if isinstance(name_arg, ast.Constant):
+            if not isinstance(name_arg.value, str):
+                yield self.finding(
+                    ctx, name_arg, f"metric name for `.{method}()` must be a string"
+                )
+            elif name_arg.value not in metric_names:
+                yield self.finding(
+                    ctx,
+                    name_arg,
+                    f"metric `{name_arg.value}` is not in the declared "
+                    "vocabulary (repro.obs.vocabulary.METRIC_NAMES); add "
+                    "it there and to docs/observability.md",
+                )
+            return
+        if isinstance(name_arg, ast.JoinedStr):
+            pattern = _fstring_pattern(name_arg)
+            if pattern is not None and any(
+                re.fullmatch(pattern, known) for known in metric_names
+            ):
+                return
+            yield self.finding(
+                ctx,
+                name_arg,
+                f"f-string metric name for `.{method}()` matches no "
+                "declared vocabulary entry",
+            )
+            return
+        if isinstance(name_arg, ast.Name):
+            values = bindings.values.get(name_arg.id)
+            if values and name_arg.id not in bindings.tainted:
+                unknown = sorted(v for v in values if v not in metric_names)
+                if unknown:
+                    yield self.finding(
+                        ctx,
+                        name_arg,
+                        f"metric name `{name_arg.id}` may be "
+                        f"{unknown} — not in the declared vocabulary",
+                    )
+                return
+        yield self.finding(
+            ctx,
+            name_arg,
+            f"metric name for `.{method}()` is not a string literal the "
+            "checker can resolve; vocabulary membership cannot be "
+            "verified",
+        )
+
+    def _check_labels(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        label_keys: frozenset,
+        dict_bindings: dict[str, list[ast.Dict]],
+        seen_displays: set[int],
+    ) -> Iterator[Finding]:
+        label_arg: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "labels":
+                label_arg = kw.value
+        if label_arg is None and len(call.args) >= 2:
+            label_arg = call.args[1]
+        displays: list[ast.Dict] = []
+        if isinstance(label_arg, ast.Dict):
+            displays = [label_arg]
+        elif isinstance(label_arg, ast.Name):
+            # Resolve `labels = {...}; metric.inc(n, labels)` — check
+            # each dict display the name may hold, once per display.
+            displays = [
+                d
+                for d in dict_bindings.get(label_arg.id, [])
+                if id(d) not in seen_displays
+            ]
+        for display in displays:
+            seen_displays.add(id(display))
+            yield from self._check_label_display(ctx, display, label_keys)
+
+    def _check_label_display(
+        self, ctx: FileContext, label_arg: ast.Dict, label_keys: frozenset
+    ) -> Iterator[Finding]:
+        for key in label_arg.keys:
+            if key is None:
+                continue  # `**spread` merges a dict checked at its display
+            if not isinstance(key, ast.Constant) or not isinstance(
+                key.value, str
+            ):
+                yield self.finding(
+                    ctx, key, "label keys must be string literals"
+                )
+            elif key.value not in label_keys:
+                yield self.finding(
+                    ctx,
+                    key,
+                    f"label key `{key.value}` is not in the declared "
+                    "vocabulary (repro.obs.vocabulary.LABEL_KEYS)",
+                )

@@ -1,0 +1,50 @@
+"""W008 — library modules never ``print``.
+
+The CLI (`repro.cli`) is the only module that owns stdout/stderr;
+everything below it returns strings (``repro.reporting``), publishes
+metrics (``repro.obs``) or raises.  A stray ``print`` in a library
+module corrupts machine-readable output (the ``batch --format json``
+stream), bypasses the ``--quiet`` contract and is invisible to the
+observability layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """W008 — no bare ``print`` outside the CLI."""
+
+    id = "W008"
+    name = "print-in-library"
+    severity = "warning"
+    description = (
+        "Bare `print(...)` in library modules bypasses the CLI's output "
+        "contract; return strings (repro.reporting), publish metrics "
+        "(repro.obs) or log through the CLI layer."
+    )
+    invariant = (
+        "`repro.cli` owns stdout/stderr; machine-readable output streams "
+        "(batch --format json) stay uncorrupted."
+    )
+    path_fragments = ("repro/",)
+    exclude_fragments = ("repro/cli.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `print` in a library module; route output "
+                    "through the CLI / reporting / obs helpers",
+                )

@@ -1,0 +1,157 @@
+"""Robustness rules: W003 (blanket excepts), W004 (mutable defaults).
+
+W003 protects the PR-3 fault-isolation contract: the engine promises
+that one malformed pair yields one errored ``PairOutcome`` and that
+*cancellation still works* — a bare ``except:`` (or
+``except BaseException``) in a worker path swallows
+``KeyboardInterrupt``/``SystemExit`` and turns a stuck worker into a
+stuck batch.  Catching ``Exception`` is the sanctioned blanket.
+
+W004 is the classic shared-mutable-default trap, upgraded to an error
+here because engine/backend objects are long-lived and cross process
+boundaries — a mutated default silently couples unrelated calls (and
+unrelated *pickled copies*).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+#: Call targets whose zero-arg result is a fresh mutable container —
+#: still a shared default when evaluated once at def time.
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises (bare ``raise``) on every path.
+
+    A conservative approximation: any bare ``raise`` directly in the
+    handler body counts — the common log-and-reraise idiom.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register
+class BlanketExceptRule(Rule):
+    """W003 — no bare/`BaseException` excepts in engine worker paths."""
+
+    id = "W003"
+    name = "blanket-except"
+    severity = "error"
+    description = (
+        "`except:` and `except BaseException:` are forbidden in "
+        "`repro.engine` unless the handler re-raises: they swallow "
+        "KeyboardInterrupt/SystemExit and break worker cancellation."
+    )
+    invariant = (
+        "Fault isolation is per pair (one bad pair = one errored "
+        "PairOutcome); worker teardown signals must propagate."
+    )
+    path_fragments = ("repro/engine/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            kind = None
+            if node.type is None:
+                kind = "bare `except:`"
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id == "BaseException"
+            ):
+                kind = "`except BaseException:`"
+            if kind is None or _reraises(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{kind} in an engine worker path swallows "
+                "KeyboardInterrupt/SystemExit; catch `Exception` (or "
+                "re-raise)",
+            )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """W004 — no mutable default argument values."""
+
+    id = "W004"
+    name = "mutable-default"
+    severity = "error"
+    description = (
+        "Mutable default arguments (`[]`, `{}`, `set()`, comprehension "
+        "displays, zero-arg container factories) are evaluated once and "
+        "shared across calls; default to `None` and construct inside."
+    )
+    invariant = (
+        "Call-independent behaviour: engine/backend objects are "
+        "long-lived and pickled; a mutated default couples them."
+    )
+    path_fragments = ()  # everywhere scanned
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            annotated = list(
+                zip(args.posonlyargs + args.args, self._pos_defaults(args))
+            ) + list(zip(args.kwonlyargs, args.kw_defaults))
+            for arg, default in annotated:
+                if default is None:
+                    continue
+                if isinstance(default, _MUTABLE_DISPLAYS):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default for `{arg.arg}` in "
+                        f"`{node.name}()` is shared across calls; use "
+                        "`None` and construct inside",
+                    )
+                elif (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_FACTORIES
+                ):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"`{default.func.id}()` default for `{arg.arg}` in "
+                        f"`{node.name}()` is evaluated once and shared; "
+                        "use `None` and construct inside",
+                    )
+
+    @staticmethod
+    def _pos_defaults(args: ast.arguments) -> list[ast.expr | None]:
+        """Positional defaults left-padded to align with the arg list."""
+        slots: list[ast.expr | None] = [None] * (
+            len(args.posonlyargs) + len(args.args)
+        )
+        if args.defaults:
+            slots[-len(args.defaults):] = list(args.defaults)
+        return slots

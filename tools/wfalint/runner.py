@@ -1,0 +1,152 @@
+"""The wfalint runner: walk files, run rules, apply suppressions/baseline.
+
+:func:`run_lint` is the single entry point both the CLI and the test
+suite use.  It returns a :class:`LintResult` separating findings into
+the three buckets the tooling cares about: *reported* (fail the run),
+*suppressed* (an inline ``# wfalint: disable=`` on the line), and
+*baselined* (grandfathered by the committed baseline file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import rules as _builtin_rules  # noqa: F401  — registers the rules
+from .baseline import Baseline
+from .core import Finding, Rule, iter_rules, parse_suppressions, FileContext
+
+__all__ = ["LintResult", "run_lint", "collect_files"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "node_modules",
+    "repro.egg-info",
+}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    reported: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """Reported + suppressed + baselined (pre-filter view)."""
+        return self.reported + self.suppressed + self.baselined
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean; 1 findings (or unparsable files)."""
+        return 1 if self.reported or self.parse_errors else 0
+
+    def summary(self) -> dict[str, int]:
+        """Counts by bucket, JSON-friendly."""
+        errors = sum(1 for f in self.reported if f.severity == "error")
+        return {
+            "files_checked": self.files_checked,
+            "reported": len(self.reported),
+            "errors": errors,
+            "warnings": len(self.reported) - errors,
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "parse_errors": len(self.parse_errors),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand ``paths`` (files or directories) into sorted ``*.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            out.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    out.add(candidate)
+    return sorted(out)
+
+
+def run_lint(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    baseline: Baseline | None = None,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    rules: list[Rule] | None = None,
+) -> LintResult:
+    """Lint ``paths`` and bucket every finding.
+
+    ``root`` anchors relpaths (and rule path scoping); it defaults to
+    the current working directory.  ``select``/``ignore`` filter rule
+    ids; ``rules`` overrides the registry entirely (tests use this).
+    """
+    root = (root or Path.cwd()).resolve()
+    active = rules if rules is not None else iter_rules()
+    if select:
+        active = [r for r in active if r.id in select]
+    if ignore:
+        active = [r for r in active if r.id not in ignore]
+    baseline = baseline or Baseline()
+
+    result = LintResult()
+    matched: list[Finding] = []
+    for path in collect_files(paths):
+        try:
+            ctx = FileContext.load(path, root)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            result.parse_errors.append(
+                Finding(
+                    rule_id="E000",
+                    severity="error",
+                    path=_relpath(path, root),
+                    line=lineno,
+                    col=0,
+                    message=f"cannot parse: {exc}",
+                )
+            )
+            continue
+        result.files_checked += 1
+        suppressions = parse_suppressions(ctx.lines)
+        for rule in active:
+            if not rule.applies(ctx.relpath):
+                continue
+            for finding in rule.check(ctx):
+                matched.append(finding)
+                line_rules = set(suppressions.get(finding.line, set()))
+                # A directive may also sit on an immediately preceding
+                # pure-comment line (the idiom for statements too long
+                # to share a line with their justification).
+                prev = finding.line - 1
+                if prev >= 1 and ctx.source_line(prev).startswith("#"):
+                    line_rules |= suppressions.get(prev, set())
+                if "all" in line_rules or finding.rule_id in line_rules:
+                    result.suppressed.append(finding)
+                elif finding in baseline:
+                    result.baselined.append(finding)
+                else:
+                    result.reported.append(finding)
+    result.reported.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    result.stale_baseline = baseline.stale_entries(matched)
+    return result
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
