@@ -1,0 +1,662 @@
+"""Shared-memory sequence arenas: the zero-copy dispatch substrate.
+
+The batch engine's pickled chunk protocol ships every sequence string to
+the worker inside the chunk payload — on the profile that data movement
+(``dispatch``) dwarfs the alignment arithmetic, the software twin of the
+observation Scrooge and ASAP make for WFA hardware: *moving* reads costs
+more than aligning them.  This module provides the alternative: the
+engine packs each unique sequence once into a 2-bit-per-base
+``multiprocessing.shared_memory`` arena and ships only
+``(arena_id, offset, length)`` descriptors; workers attach the arena
+(once per process) and decode sequences in place.  Scores and CIGARs
+come back through a :class:`ResultRing` — a per-batch shared-memory
+block of fixed-width records plus a pre-partitioned CIGAR heap — so the
+reply path is descriptor-sized too.
+
+Three invariants the test battery (``tests/align/test_arena.py``,
+``tests/engine/test_shm_dispatch.py``) holds this module to:
+
+* **Round-trip fidelity** — ``unpack_bits(pack_bits(s), len(s)) == s``
+  for every ACGT string including ``""`` (the engine's validation layer
+  guarantees dispatched sequences are uppercase ACGT; anything else is
+  rejected or answered before dispatch).
+* **No leaked segments** — every created segment is unlinked on
+  :meth:`SequenceArena.close` / :meth:`ResultRing.close`, on garbage
+  collection (``weakref.finalize``) and at interpreter exit
+  (``atexit``), all owner-pid-guarded so forked children never unlink a
+  parent's live arena.
+* **Attach safety** — worker-side attachments are cached per process,
+  survive ``fork`` (the cache resets when the pid changes) and are
+  deregistered from the ``resource_tracker`` so an exiting worker does
+  not unlink a segment it merely mapped (CPython's tracker registers
+  attachments as if they were creations; Python 3.13 adds ``track=``,
+  this repository supports 3.10+).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import struct
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ARENA_PREFIX",
+    "RING_PREFIX",
+    "SequenceDescriptor",
+    "encode_descriptor",
+    "decode_descriptor",
+    "pack_bits",
+    "unpack_bits",
+    "packed_nbytes",
+    "cigar_capacity",
+    "SequenceArena",
+    "ResultRing",
+    "attach_segment",
+    "detach_segment",
+    "detach_all_segments",
+    "read_sequence",
+    "write_ring_result",
+    "leaked_segments",
+]
+
+#: ``/dev/shm`` name prefixes — recognisable so the leak-detection tests
+#: can scan for segments this process stranded (names embed the owner
+#: pid: ``wfarena-<pid>-<n>`` / ``wfaring-<pid>-<n>``).
+ARENA_PREFIX = "wfarena"
+RING_PREFIX = "wfaring"
+
+#: Bases in 2-bit code order; index == code.
+_BASES = b"ACGT"
+
+_BASE_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _code, _base in enumerate(_BASES):
+    _BASE_TO_CODE[_base] = _code
+
+_CODE_TO_BASE = np.frombuffer(_BASES, dtype=np.uint8)
+
+#: Bit positions of the four bases within one packed byte (base ``i`` of
+#: a quad occupies bits ``2i..2i+1`` — little-endian within the byte).
+_SHIFTS = np.array([0, 2, 4, 6], dtype=np.uint8)
+
+
+# -- 2-bit codec -------------------------------------------------------
+
+
+def packed_nbytes(length: int) -> int:
+    """Bytes needed to hold ``length`` bases at 2 bits per base."""
+    return (length + 3) // 4
+
+
+def pack_bits(seq: str) -> np.ndarray:
+    """Pack an uppercase ACGT string into a 2-bit-per-base byte array.
+
+    Four bases per byte, base ``i`` of each quad in bits ``2i..2i+1``;
+    the final partial quad is zero-padded (callers record the base count
+    separately).  Raises :class:`ValueError` for any non-ACGT character
+    — the arena stores *dispatchable* sequences only, which the engine's
+    validation boundary has already reduced to uppercase ACGT.
+    """
+    try:
+        raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError as exc:
+        raise ValueError(f"non-ASCII character in sequence: {exc}") from None
+    codes = _BASE_TO_CODE[raw]
+    bad = np.nonzero(codes == 255)[0]
+    if bad.size:
+        pos = int(bad[0])
+        raise ValueError(
+            f"non-ACGT base {seq[pos]!r} at position {pos}; only "
+            "validated uppercase ACGT sequences are arena-packable"
+        )
+    pad = (-codes.size) % 4
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint8)])
+    quads = codes.reshape(-1, 4).astype(np.uint16)
+    packed = (
+        quads[:, 0]
+        | (quads[:, 1] << 2)
+        | (quads[:, 2] << 4)
+        | (quads[:, 3] << 6)
+    )
+    return packed.astype(np.uint8)
+
+
+def unpack_bits(packed: np.ndarray | memoryview | bytes, length: int) -> str:
+    """Decode ``length`` bases from a 2-bit-packed buffer.
+
+    The exact inverse of :func:`pack_bits` for the first ``length``
+    bases; surplus buffer bytes (arena slack) are ignored.
+    """
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    if length == 0:
+        return ""
+    need = packed_nbytes(length)
+    data = np.frombuffer(packed, dtype=np.uint8, count=need)
+    codes = ((data[:, None] >> _SHIFTS) & 3).reshape(-1)[:length]
+    return _CODE_TO_BASE[codes].tobytes().decode("ascii")
+
+
+def cigar_capacity(pattern_len: int, text_len: int) -> int:
+    """Ring-heap bytes reserved for one pair's compact CIGAR.
+
+    A compact CIGAR has at most ``pattern_len + text_len`` operations
+    and each op costs at most ``len(str(count)) + 1 <= 2`` bytes when
+    runs alternate, so ``2 * (m + n)`` bounds it; the slack covers the
+    degenerate tiny-sequence cases (e.g. ``""`` vs ``"A"`` -> ``"1I"``).
+    """
+    return 2 * (pattern_len + text_len) + 16
+
+
+# -- descriptors -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SequenceDescriptor:
+    """Zero-copy handle to one packed sequence: where, not what.
+
+    ``arena_id`` names the shared-memory segment, ``offset`` the first
+    packed byte within it and ``length`` the number of *bases* (the
+    packed byte count follows from :func:`packed_nbytes`).  This triple
+    is the only sequence representation that crosses the process
+    boundary on the zero-copy path — wfalint's W005 descriptor-only
+    contract check enforces exactly that.
+    """
+
+    arena_id: str
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("descriptor offset must be >= 0")
+        if self.length < 0:
+            raise ValueError("descriptor length must be >= 0")
+
+
+#: Wire header: arena-id byte count (u16), offset (u64), length (u64).
+_DESCRIPTOR_HEADER = struct.Struct("<HQQ")
+
+
+def encode_descriptor(desc: SequenceDescriptor) -> bytes:
+    """Serialise a descriptor to its compact wire form.
+
+    Layout: a little-endian ``(id_len: u16, offset: u64, length: u64)``
+    header followed by the UTF-8 arena id.  Round-trips exactly through
+    :func:`decode_descriptor` (property-tested over the full u64 range
+    and arbitrary unicode arena ids).
+    """
+    ident = desc.arena_id.encode("utf-8")
+    if len(ident) > 0xFFFF:
+        raise ValueError("arena id longer than 65535 UTF-8 bytes")
+    if desc.offset > 0xFFFFFFFFFFFFFFFF or desc.length > 0xFFFFFFFFFFFFFFFF:
+        raise ValueError("descriptor offset/length exceed u64")
+    return _DESCRIPTOR_HEADER.pack(len(ident), desc.offset, desc.length) + ident
+
+
+def decode_descriptor(data: bytes) -> SequenceDescriptor:
+    """Inverse of :func:`encode_descriptor` (strict: no trailing bytes)."""
+    if len(data) < _DESCRIPTOR_HEADER.size:
+        raise ValueError("descriptor blob shorter than its header")
+    id_len, offset, length = _DESCRIPTOR_HEADER.unpack_from(data)
+    body = data[_DESCRIPTOR_HEADER.size:]
+    if len(body) != id_len:
+        raise ValueError(
+            f"descriptor blob holds {len(body)} id bytes, header says {id_len}"
+        )
+    return SequenceDescriptor(
+        arena_id=body.decode("utf-8"), offset=offset, length=length
+    )
+
+
+# -- segment lifecycle (owner side) ------------------------------------
+
+#: Monotonic per-process suffix so segment names never collide within a
+#: process; the pid component keeps processes apart (a recycled pid that
+#: collides with a stale segment simply advances to the next suffix).
+_SEGMENT_SEQ = itertools.count()
+
+#: Segments *created* by this process, unlinked at interpreter exit.
+#: Forked children inherit the table but ``_OWNED_PID`` still names the
+#: parent, so their exit handler never unlinks the parent's segments.
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+_OWNED_PID = os.getpid()
+
+
+def _register_owned(shm: shared_memory.SharedMemory) -> None:
+    """Track a created segment for exit-time unlink (fork-aware)."""
+    global _OWNED_PID
+    if os.getpid() != _OWNED_PID:
+        # Forked child creating its own segments: the inherited entries
+        # belong to the parent and must not be unlinked from here.
+        _OWNED.clear()
+        _OWNED_PID = os.getpid()
+    _OWNED[shm.name] = shm
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort unlink + close of one owned segment (idempotent)."""
+    # Re-register first: forked workers share this process's resource
+    # tracker, and their attach-time deregistration (see :func:`_untrack`)
+    # also dropped the owner's entry — ``unlink`` deregisters once more,
+    # and an unbalanced deregistration makes the tracker print KeyError
+    # tracebacks.  Registering is idempotent (the tracker keeps a set).
+    try:
+        resource_tracker.register(
+            getattr(shm, "_name", shm.name), "shared_memory"
+        )
+    except Exception:  # noqa: BLE001 — tracker internals vary per minor
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:
+        pass
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        # A live view (numpy window, exported memoryview) blocks the
+        # close; the unlink above already removed the /dev/shm entry,
+        # which is the resource the leak tests care about.
+        pass
+
+
+def _finalize_segments(
+    owner_pid: int, segments: list[shared_memory.SharedMemory]
+) -> None:
+    """``weakref.finalize`` callback: unlink, but only in the owner."""
+    if os.getpid() != owner_pid:
+        return
+    for shm in segments:
+        _OWNED.pop(shm.name, None)
+        _unlink_segment(shm)
+    segments.clear()
+
+
+def _atexit_unlink() -> None:
+    """Interpreter-exit sweep of every segment this process created."""
+    if os.getpid() != _OWNED_PID:
+        return
+    for shm in list(_OWNED.values()):
+        _unlink_segment(shm)
+    _OWNED.clear()
+
+
+atexit.register(_atexit_unlink)
+
+
+def _create_segment(prefix: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create an owned segment with a recognisable, collision-free name."""
+    while True:
+        name = f"{prefix}-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, nbytes)
+            )
+        except FileExistsError:
+            # A stale segment from a recycled pid owns this name; the
+            # monotonic suffix finds a free one without touching it.
+            continue
+        _register_owned(shm)
+        return shm
+
+
+def leaked_segments(pid: int | None = None) -> list[str]:
+    """Arena/ring segments of ``pid`` still present under ``/dev/shm``.
+
+    The leak-detection regression tests call this after engine shutdown
+    (and after injected worker crashes) and assert it returns ``[]``.
+    Returns ``[]`` on platforms without a scannable ``/dev/shm``.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    pid = os.getpid() if pid is None else pid
+    prefixes = (f"{ARENA_PREFIX}-{pid}-", f"{RING_PREFIX}-{pid}-")
+    try:
+        names = [entry.name for entry in root.iterdir()]
+    except OSError:
+        return []
+    return sorted(name for name in names if name.startswith(prefixes))
+
+
+# -- attach cache (worker side) ----------------------------------------
+
+#: Segments this process has attached (not created), keyed by name.  The
+#: pid stamp invalidates the cache across ``fork`` — a child re-attaches
+#: rather than trusting file descriptors the parent opened.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_ATTACHED_PID = os.getpid()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    CPython (< 3.13) registers every ``SharedMemory`` — attachments
+    included — with the tracker, which unlinks all registered names when
+    the last tracked process exits; an attaching worker would then
+    destroy a segment it never owned.  Unregistering after the fact is
+    no better: forked workers share one tracker (a *set* of names), so
+    the second worker's deregistration underflows it and the tracker
+    prints KeyError tracebacks at owner-unlink time.  Suppressing the
+    registration call for the duration of the attach keeps the tracker's
+    books exactly balanced: one register at create, one deregister at
+    unlink, both in the owner.  Workers attach single-threaded (the pool
+    runs one task at a time per process), so the swap cannot race.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def attach_segment(name: str) -> memoryview:
+    """Map a shared-memory segment by name, caching the attachment.
+
+    Owner processes resolve straight to their created segment (no second
+    mapping); everyone else attaches once per process and reuses the
+    mapping for every later read — attach cost amortises across chunks
+    and batches.
+    """
+    global _ATTACHED_PID
+    if os.getpid() != _ATTACHED_PID:
+        _ATTACHED.clear()
+        _ATTACHED_PID = os.getpid()
+    if os.getpid() == _OWNED_PID:
+        owned = _OWNED.get(name)
+        if owned is not None:
+            return owned.buf
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = _attach_untracked(name)
+        _ATTACHED[name] = shm
+    return shm.buf
+
+
+def detach_segment(name: str) -> None:
+    """Drop this process's cached attachment of ``name`` (idempotent).
+
+    Workers call this for per-batch segments (the result ring) once the
+    chunk is done: the parent unlinks the ring after the gather, and a
+    mapping kept alive here would pin the memory until process exit.
+    """
+    if os.getpid() != _ATTACHED_PID:
+        _ATTACHED.clear()
+        return
+    shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            pass
+
+
+def detach_all_segments() -> None:
+    """Drop every cached attachment (test teardown / worker shutdown)."""
+    for name in list(_ATTACHED):
+        detach_segment(name)
+
+
+def read_sequence(desc: SequenceDescriptor) -> str:
+    """Materialise the string a descriptor points at (worker side)."""
+    if desc.length == 0:
+        return ""
+    buf = attach_segment(desc.arena_id)
+    need = packed_nbytes(desc.length)
+    if desc.offset + need > len(buf):
+        raise ValueError(
+            f"descriptor window [{desc.offset}, {desc.offset + need}) "
+            f"exceeds segment {desc.arena_id!r} of {len(buf)} bytes"
+        )
+    window = np.frombuffer(buf, dtype=np.uint8, count=need, offset=desc.offset)
+    return unpack_bits(window, desc.length)
+
+
+# -- the sequence arena ------------------------------------------------
+
+
+class SequenceArena:
+    """Owner of the packed-sequence shared-memory segments.
+
+    A bump allocator over one or more segments: :meth:`intern` packs a
+    sequence once (memoised per string) and returns its descriptor;
+    segments grow by allocation, never move, so descriptors stay valid
+    for the arena's lifetime.  The arena is process-lifetime state (the
+    engine keeps one across batches — the serving mix repeats
+    sequences); :meth:`close` — or garbage collection, or interpreter
+    exit — unlinks every segment.
+    """
+
+    def __init__(self, *, segment_bytes: int = 1 << 20) -> None:
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self.segment_bytes = segment_bytes
+        #: Unique sequences interned / memo hits (observability counters).
+        self.interned = 0
+        self.hits = 0
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._cursor = 0
+        self._memo: dict[str, SequenceDescriptor] = {}
+        self._closed = False
+        self._owner_pid = os.getpid()
+        self._finalizer = weakref.finalize(
+            self, _finalize_segments, self._owner_pid, self._segments
+        )
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every live segment (oldest first)."""
+        return tuple(shm.name for shm in self._segments)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total shared-memory bytes reserved across segments."""
+        return sum(shm.size for shm in self._segments)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes actually holding packed sequences."""
+        if not self._segments:
+            return 0
+        return (
+            sum(shm.size for shm in self._segments[:-1]) + self._cursor
+        )
+
+    def intern(self, seq: str) -> SequenceDescriptor:
+        """The descriptor for ``seq``, packing it on first sight."""
+        if self._closed:
+            raise ValueError("arena is closed")
+        if os.getpid() != self._owner_pid:
+            raise ValueError(
+                "arena can only intern in its owner process "
+                f"(owner pid {self._owner_pid}, current {os.getpid()})"
+            )
+        cached = self._memo.get(seq)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        packed = pack_bits(seq)
+        need = int(packed.nbytes)
+        segment = self._segment_with_room(need)
+        offset = self._cursor
+        if need:
+            segment.buf[offset : offset + need] = packed.tobytes()
+        self._cursor = offset + need
+        desc = SequenceDescriptor(
+            arena_id=segment.name, offset=offset, length=len(seq)
+        )
+        self._memo[seq] = desc
+        self.interned += 1
+        return desc
+
+    def _segment_with_room(self, need: int) -> shared_memory.SharedMemory:
+        """The current segment, or a fresh one sized for ``need`` bytes."""
+        if self._segments:
+            current = self._segments[-1]
+            if self._cursor + need <= current.size:
+                return current
+        fresh = _create_segment(
+            ARENA_PREFIX, max(self.segment_bytes, need)
+        )
+        self._segments.append(fresh)
+        self._cursor = 0
+        return fresh
+
+    def close(self) -> None:
+        """Unlink every segment and forget the memo (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._memo.clear()
+        self._finalizer.detach()
+        if os.getpid() == self._owner_pid:
+            for shm in self._segments:
+                _OWNED.pop(shm.name, None)
+                _unlink_segment(shm)
+        self._segments.clear()
+        self._cursor = 0
+
+    def __enter__(self) -> "SequenceArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# -- the result ring ---------------------------------------------------
+
+#: Per-item record: written flag (u8), success flag (u8), score (i64),
+#: CIGAR byte count (i64; ``-1`` = no CIGAR, ``0`` = the valid empty
+#: CIGAR).  The record is written *after* the CIGAR bytes, and the
+#: parent only reads after the chunk's pool result has arrived, so the
+#: queue round-trip orders every write before every read.
+_RING_RECORD = struct.Struct("<BBqq")
+
+
+class ResultRing:
+    """Per-batch shared-memory block workers write plain outcomes into.
+
+    Layout: ``n`` fixed-width :data:`_RING_RECORD` records followed by a
+    CIGAR heap pre-partitioned per item (disjoint windows, so concurrent
+    workers never contend or lock).  Exceptional outcomes (errors,
+    unsupported reads, oversized CIGARs) bypass the ring and return on
+    the pickled reply path; the ring carries only the common case.
+    """
+
+    def __init__(self, cigar_caps: Sequence[int]) -> None:
+        self._caps = [int(c) for c in cigar_caps]
+        if any(c < 0 for c in self._caps):
+            raise ValueError("cigar capacities must be >= 0")
+        records_bytes = _RING_RECORD.size * len(self._caps)
+        self._heap_offsets: list[int] = []
+        cursor = records_bytes
+        for cap in self._caps:
+            self._heap_offsets.append(cursor)
+            cursor += cap
+        self._shm = _create_segment(RING_PREFIX, max(1, cursor))
+        # Fresh POSIX segments are zero-filled, so every record starts
+        # with its written-flag down; no explicit clear needed.
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _finalize_segments, self._owner_pid, [self._shm]
+        )
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    def __len__(self) -> int:
+        return len(self._caps)
+
+    def window(self, index: int) -> tuple[int, int]:
+        """The ``(heap_offset, capacity)`` CIGAR window of one item."""
+        return self._heap_offsets[index], self._caps[index]
+
+    def read(self, index: int) -> tuple[int, bool, str | None] | None:
+        """The ``(score, success, cigar)`` a worker wrote, or ``None``.
+
+        ``None`` means the slot was never written — the chunk died, hung
+        or answered on the pickled path; the engine then falls back to
+        the outcomes that came back with the chunk result.
+        """
+        buf = self._shm.buf
+        written, success, score, cigar_len = _RING_RECORD.unpack_from(
+            buf, index * _RING_RECORD.size
+        )
+        if not written:
+            return None
+        cigar: str | None = None
+        if cigar_len >= 0:
+            start = self._heap_offsets[index]
+            cigar = bytes(buf[start : start + cigar_len]).decode("ascii")
+        return int(score), bool(success), cigar
+
+    def close(self) -> None:
+        """Unlink the ring segment (idempotent, owner-only)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        if os.getpid() == self._owner_pid:
+            _OWNED.pop(self._shm.name, None)
+            _unlink_segment(self._shm)
+
+    def __enter__(self) -> "ResultRing":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def write_ring_result(
+    ring_name: str,
+    index: int,
+    *,
+    score: int,
+    success: bool,
+    cigar: str | None,
+    cigar_offset: int,
+    cigar_capacity: int,
+) -> bool:
+    """Worker-side ring write for one item; ``False`` = use the pickled path.
+
+    Writes the CIGAR bytes into the item's pre-reserved heap window and
+    then the record (flag last).  Returns ``False`` — caller falls back
+    to returning the outcome in the chunk result — when the CIGAR
+    exceeds its window or the ring has already been unlinked (a chunk
+    outliving its batch after a timeout-degrade).
+    """
+    if cigar is not None and len(cigar) > cigar_capacity:
+        return False
+    try:
+        buf = attach_segment(ring_name)
+        if cigar:
+            data = cigar.encode("ascii")
+            buf[cigar_offset : cigar_offset + len(data)] = data
+        _RING_RECORD.pack_into(
+            buf,
+            index * _RING_RECORD.size,
+            1,
+            1 if success else 0,
+            score,
+            -1 if cigar is None else len(cigar),
+        )
+    except (OSError, ValueError):
+        return False
+    return True

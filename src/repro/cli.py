@@ -137,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk resubmissions after a timeout or lost worker",
     )
     bat.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable zero-copy shared-memory dispatch (parallel path)",
+    )
+    bat.add_argument(
         "--penalties",
         metavar="X,O,E",
         default=None,
@@ -304,6 +309,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             strict=args.strict,
             chunk_timeout=args.timeout if args.timeout > 0 else None,
             max_chunk_retries=args.retries,
+            shared_memory=not args.no_shm,
         )
     except ValueError as exc:
         print(f"invalid engine configuration: {exc}", file=sys.stderr)
@@ -542,7 +548,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if forwarded[:1] == ["--"]:
         forwarded = forwarded[1:]
     # Anchor wfalint at the checkout root unless the caller chose one;
-    # its default target (`<root>/src`) then works from any directory.
+    # its default targets (the CI scope under `<root>`) then work from
+    # any directory.
     if "--root" not in forwarded:
         forwarded += ["--root", str(root)]
     return int(wfalint_main(forwarded))

@@ -36,6 +36,9 @@ METRIC_NAMES = frozenset({
     # per-stage wall-time (StageProfiler.publish, prefix "engine")
     "engine_stage_seconds_total",
     "engine_stage_calls_total",
+    # zero-copy dispatch (engine, shared-memory arena)
+    "engine_shm_sequences_total",
+    "engine_shm_arena_bytes",
     # accelerator simulator (publish_accelerator_batch)
     "wfasic_cycles_total",
     "wfasic_makespan_cycles_total",

@@ -1,0 +1,533 @@
+"""The shared-memory arena battery: round-trips, leaks, crash hygiene.
+
+`docs/shared-memory.md` states three invariants for the zero-copy
+substrate and this file holds `repro.align.arena` to them directly
+(the engine-level twin is ``tests/engine/test_shm_dispatch.py``):
+
+* the 2-bit codec and the descriptor wire format round-trip exactly,
+  including zero-length and u64-boundary values (property-tested);
+* every created segment is unlinked — on ``close()``, on garbage
+  collection, and at interpreter exit, including exits by unhandled
+  exception; a SIGKILL'd *attacher* never takes a segment with it;
+* attachments are per-process cached, fork-safe, and survive
+  concurrent attach/detach churn from multiple worker processes.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.align.arena import (
+    ARENA_PREFIX,
+    ResultRing,
+    SequenceArena,
+    SequenceDescriptor,
+    attach_segment,
+    cigar_capacity,
+    decode_descriptor,
+    detach_all_segments,
+    encode_descriptor,
+    leaked_segments,
+    pack_bits,
+    packed_nbytes,
+    read_sequence,
+    unpack_bits,
+    write_ring_result,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=300)
+
+U64_MAX = 2**64 - 1
+I64_MIN, I64_MAX = -(2**63), 2**63 - 1
+
+
+def _shm_entries() -> set[str]:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return set()
+    return {e.name for e in root.iterdir() if e.name.startswith(("wfarena", "wfaring"))}
+
+
+@pytest.fixture()
+def arena():
+    with SequenceArena() as a:
+        yield a
+    detach_all_segments()
+
+
+# -- 2-bit codec -------------------------------------------------------
+
+
+class TestPackCodec:
+    def test_known_vector_acgt(self):
+        # codes A=0 C=1 G=2 T=3, base i of a quad in bits 2i..2i+1.
+        packed = pack_bits("ACGT")
+        assert packed.tolist() == [0b11100100]
+        assert unpack_bits(packed, 4) == "ACGT"
+
+    def test_partial_quad_zero_padded(self):
+        packed = pack_bits("TTTTT")
+        assert packed.tolist() == [0xFF, 0b00000011]
+        assert unpack_bits(packed, 5) == "TTTTT"
+
+    def test_empty_sequence(self):
+        packed = pack_bits("")
+        assert packed.size == 0
+        assert unpack_bits(packed, 0) == ""
+        assert packed_nbytes(0) == 0
+
+    def test_packed_nbytes(self):
+        assert [packed_nbytes(n) for n in range(9)] == [0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    @pytest.mark.parametrize("bad", ["ACGN", "acgt", "AC T", "ACG-"])
+    def test_non_acgt_rejected_with_position(self, bad):
+        with pytest.raises(ValueError, match="non-ACGT"):
+            pack_bits(bad)
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(ValueError, match="non-ASCII"):
+            pack_bits("ACGÅ")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            unpack_bits(b"\x00", -1)
+
+    def test_surplus_buffer_bytes_ignored(self):
+        # Arena reads hand unpack_bits a window with trailing slack.
+        buf = pack_bits("ACGTACGT").tobytes() + b"\xff\xff"
+        assert unpack_bits(buf, 8) == "ACGTACGT"
+
+    @given(seq=dna)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, seq):
+        assert unpack_bits(pack_bits(seq), len(seq)) == seq
+
+    @given(seq=dna)
+    @settings(max_examples=30, deadline=None)
+    def test_packed_size_matches_contract(self, seq):
+        assert pack_bits(seq).nbytes == packed_nbytes(len(seq))
+
+
+class TestCigarCapacity:
+    def test_covers_degenerate_tiny_pairs(self):
+        # "" vs "A" backtraces to "1I" — the +16 slack must cover it.
+        assert cigar_capacity(0, 1) >= len("1I")
+        assert cigar_capacity(0, 0) >= 0
+
+    @given(m=st.integers(0, 10_000), n=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_and_linear(self, m, n):
+        assert cigar_capacity(m, n) == 2 * (m + n) + 16
+
+
+# -- descriptor wire format --------------------------------------------
+
+
+class TestDescriptorCodec:
+    def test_round_trip_simple(self):
+        desc = SequenceDescriptor("wfarena-1-0", 128, 40)
+        assert decode_descriptor(encode_descriptor(desc)) == desc
+
+    def test_zero_length_zero_offset(self):
+        desc = SequenceDescriptor("a", 0, 0)
+        assert decode_descriptor(encode_descriptor(desc)) == desc
+
+    def test_u64_boundary_values(self):
+        desc = SequenceDescriptor("x", U64_MAX, U64_MAX)
+        assert decode_descriptor(encode_descriptor(desc)) == desc
+
+    def test_over_u64_rejected(self):
+        with pytest.raises(ValueError, match="u64"):
+            encode_descriptor(SequenceDescriptor("x", U64_MAX + 1, 0))
+
+    def test_negative_fields_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="offset"):
+            SequenceDescriptor("x", -1, 0)
+        with pytest.raises(ValueError, match="length"):
+            SequenceDescriptor("x", 0, -1)
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_descriptor(SequenceDescriptor("segment", 1, 2))
+        with pytest.raises(ValueError, match="shorter|id bytes"):
+            decode_descriptor(blob[:-1])
+        with pytest.raises(ValueError, match="shorter"):
+            decode_descriptor(b"\x00")
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_descriptor(SequenceDescriptor("segment", 1, 2))
+        with pytest.raises(ValueError, match="id bytes"):
+            decode_descriptor(blob + b"!")
+
+    def test_oversized_arena_id_rejected(self):
+        with pytest.raises(ValueError, match="65535"):
+            encode_descriptor(SequenceDescriptor("x" * 70_000, 0, 0))
+
+    @given(
+        ident=st.text(min_size=0, max_size=64),
+        offset=st.integers(0, U64_MAX),
+        length=st.integers(0, U64_MAX),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, ident, offset, length):
+        desc = SequenceDescriptor(ident, offset, length)
+        blob = encode_descriptor(desc)
+        assert decode_descriptor(blob) == desc
+
+
+# -- the arena ---------------------------------------------------------
+
+
+class TestSequenceArena:
+    def test_intern_read_round_trip(self, arena):
+        desc = arena.intern("ACGTACGTAC")
+        assert desc.length == 10
+        assert read_sequence(desc) == "ACGTACGTAC"
+
+    def test_memoised_per_string(self, arena):
+        first = arena.intern("ACGT")
+        second = arena.intern("ACGT")
+        assert first == second
+        assert arena.interned == 1
+        assert arena.hits == 1
+        assert len(arena) == 1
+
+    def test_empty_sequence_interns_and_reads(self, arena):
+        desc = arena.intern("")
+        assert desc.length == 0
+        assert read_sequence(desc) == ""
+
+    def test_invalid_sequence_rejected(self, arena):
+        with pytest.raises(ValueError, match="non-ACGT"):
+            arena.intern("ACGN")
+
+    def test_descriptors_stable_across_segment_growth(self):
+        with SequenceArena(segment_bytes=8) as arena:
+            seqs = ["ACGT" * k for k in range(1, 12)]
+            descs = [arena.intern(s) for s in seqs]
+            assert len(arena.segment_names) > 1
+            for seq, desc in zip(seqs, descs):
+                assert read_sequence(desc) == seq
+
+    def test_oversized_sequence_gets_dedicated_segment(self):
+        with SequenceArena(segment_bytes=4) as arena:
+            big = "ACGT" * 64
+            desc = arena.intern(big)
+            assert read_sequence(desc) == big
+            assert arena.allocated_bytes >= packed_nbytes(len(big))
+
+    def test_used_and_allocated_bytes(self, arena):
+        assert arena.used_bytes == 0
+        arena.intern("ACGTACGT")
+        assert arena.used_bytes == packed_nbytes(8)
+        assert arena.allocated_bytes >= arena.used_bytes
+
+    def test_close_unlinks_and_is_idempotent(self):
+        arena = SequenceArena()
+        arena.intern("ACGT")
+        names = arena.segment_names
+        assert names
+        arena.close()
+        arena.close()
+        for name in names:
+            assert not (Path("/dev/shm") / name).exists()
+        assert leaked_segments() == []
+
+    def test_intern_after_close_raises(self):
+        arena = SequenceArena()
+        arena.close()
+        with pytest.raises(ValueError, match="closed"):
+            arena.intern("ACGT")
+
+    def test_bad_segment_bytes_rejected(self):
+        with pytest.raises(ValueError, match="segment_bytes"):
+            SequenceArena(segment_bytes=0)
+
+    @given(seqs=st.lists(dna, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property_through_shared_memory(self, seqs):
+        with SequenceArena(segment_bytes=64) as arena:
+            descs = [arena.intern(s) for s in seqs]
+            assert [read_sequence(d) for d in descs] == seqs
+
+
+# -- cross-process reads -----------------------------------------------
+
+
+def _child_read(desc_blob: bytes, queue) -> None:
+    desc = decode_descriptor(desc_blob)
+    try:
+        queue.put(("ok", read_sequence(desc)))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        queue.put(("error", repr(exc)))
+    finally:
+        detach_all_segments()
+
+
+def _child_attach_and_die(name: str, ready) -> None:
+    attach_segment(name)
+    ready.set()
+    signal.pause()  # killed by SIGKILL; never returns
+
+
+class TestCrossProcess:
+    def test_forked_child_reads_descriptor(self, arena):
+        desc = arena.intern("ACGTTGCAACGT")
+        queue = multiprocessing.Queue()
+        proc = multiprocessing.Process(
+            target=_child_read, args=(encode_descriptor(desc), queue)
+        )
+        proc.start()
+        status, value = queue.get(timeout=10)
+        proc.join(timeout=10)
+        assert (status, value) == ("ok", "ACGTTGCAACGT")
+        assert proc.exitcode == 0
+
+    def test_sigkilled_attacher_leaves_segment_alive(self, arena):
+        # A worker that dies mid-batch must not take the arena with it:
+        # attachments are deliberately invisible to the resource tracker.
+        desc = arena.intern("ACGTACGTACGTACGT")
+        ready = multiprocessing.Event()
+        proc = multiprocessing.Process(
+            target=_child_attach_and_die, args=(desc.arena_id, ready)
+        )
+        proc.start()
+        assert ready.wait(timeout=10)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=10)
+        assert proc.exitcode == -signal.SIGKILL
+        # The owner's segment survives and still reads correctly...
+        assert read_sequence(desc) == "ACGTACGTACGTACGT"
+        # ...and the dead child stranded nothing of its own.
+        assert leaked_segments(proc.pid) == []
+
+
+# -- lifecycle cleanup -------------------------------------------------
+
+
+class TestLifecycleCleanup:
+    def test_finalizer_unlinks_on_garbage_collection(self):
+        arena = SequenceArena()
+        arena.intern("ACGT")
+        names = arena.segment_names
+        del arena
+        gc.collect()
+        for name in names:
+            assert not (Path("/dev/shm") / name).exists()
+
+    def _run_script(self, body: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR)
+        return subprocess.run(
+            [sys.executable, "-c", body],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    def test_atexit_unlinks_on_normal_exit_without_close(self):
+        proc = self._run_script(
+            "import os\n"
+            "from repro.align.arena import SequenceArena\n"
+            "arena = SequenceArena()\n"
+            "arena.intern('ACGT' * 32)\n"
+            "print(os.getpid())\n"
+            # no close(): the atexit sweep must do the unlinking
+        )
+        assert proc.returncode == 0, proc.stderr
+        pid = int(proc.stdout.strip())
+        assert leaked_segments(pid) == []
+
+    def test_atexit_unlinks_on_unhandled_exception_exit(self):
+        proc = self._run_script(
+            "import os, sys\n"
+            "from repro.align.arena import SequenceArena, ResultRing\n"
+            "arena = SequenceArena()\n"
+            "arena.intern('ACGTACGT')\n"
+            "ring = ResultRing([32, 32])\n"
+            "print(os.getpid(), flush=True)\n"
+            "raise RuntimeError('simulated crash after arena setup')\n"
+        )
+        assert proc.returncode != 0
+        assert "simulated crash" in proc.stderr
+        pid = int(proc.stdout.strip())
+        assert leaked_segments(pid) == []
+
+    def test_segment_names_carry_owner_pid(self, arena):
+        arena.intern("ACGT")
+        (name,) = arena.segment_names
+        assert name.startswith(f"{ARENA_PREFIX}-{os.getpid()}-")
+
+
+# -- the result ring ---------------------------------------------------
+
+
+class TestResultRing:
+    def test_windows_are_disjoint_and_record_aligned(self):
+        with ResultRing([4, 8, 0, 16]) as ring:
+            offsets = [ring.window(i) for i in range(4)]
+            cursor = offsets[0][0]
+            for off, cap in offsets:
+                assert off == cursor
+                cursor += cap
+            assert len(ring) == 4
+
+    def test_unwritten_slot_reads_none(self):
+        with ResultRing([8]) as ring:
+            assert ring.read(0) is None
+
+    def test_write_read_round_trip(self):
+        with ResultRing([16, 16]) as ring:
+            ok = write_ring_result(
+                ring.name, 0, score=-42, success=True, cigar="4M1X3M",
+                cigar_offset=ring.window(0)[0],
+                cigar_capacity=ring.window(0)[1],
+            )
+            assert ok
+            assert ring.read(0) == (-42, True, "4M1X3M")
+            assert ring.read(1) is None
+
+    def test_empty_cigar_distinct_from_no_cigar(self):
+        with ResultRing([8, 8]) as ring:
+            assert write_ring_result(
+                ring.name, 0, score=0, success=True, cigar="",
+                cigar_offset=ring.window(0)[0],
+                cigar_capacity=ring.window(0)[1],
+            )
+            assert write_ring_result(
+                ring.name, 1, score=0, success=False, cigar=None,
+                cigar_offset=ring.window(1)[0],
+                cigar_capacity=ring.window(1)[1],
+            )
+            assert ring.read(0) == (0, True, "")
+            assert ring.read(1) == (0, False, None)
+
+    def test_oversized_cigar_refused_slot_stays_unwritten(self):
+        with ResultRing([4]) as ring:
+            ok = write_ring_result(
+                ring.name, 0, score=1, success=True, cigar="10M10I10D",
+                cigar_offset=ring.window(0)[0], cigar_capacity=4,
+            )
+            assert not ok
+            assert ring.read(0) is None
+
+    def test_write_to_unlinked_ring_refused(self):
+        ring = ResultRing([8])
+        name = ring.name
+        offset, cap = ring.window(0)
+        ring.close()
+        assert not write_ring_result(
+            name, 0, score=1, success=True, cigar="1M",
+            cigar_offset=offset, cigar_capacity=cap,
+        )
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ResultRing([4, -1])
+
+    @given(
+        score=st.sampled_from([I64_MIN, -1, 0, 1, I64_MAX]),
+        success=st.booleans(),
+        cigar=st.one_of(st.none(), st.text(alphabet="0123456789MXID", max_size=12)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_record_round_trip_property(self, score, success, cigar):
+        with ResultRing([16]) as ring:
+            assert write_ring_result(
+                ring.name, 0, score=score, success=success, cigar=cigar,
+                cigar_offset=ring.window(0)[0],
+                cigar_capacity=ring.window(0)[1],
+            )
+            assert ring.read(0) == (score, success, cigar)
+
+
+# -- attach cache + concurrency ----------------------------------------
+
+
+def _churn_worker(desc_blobs: list[bytes], rounds: int, queue) -> None:
+    try:
+        descs = [decode_descriptor(b) for b in desc_blobs]
+        for _ in range(rounds):
+            for desc in descs:
+                seq = read_sequence(desc)
+                assert unpack_bits(pack_bits(seq), len(seq)) == seq
+            detach_all_segments()
+        queue.put("ok")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        queue.put(repr(exc))
+
+
+class TestAttachCache:
+    def test_owner_attach_resolves_to_owned_buffer(self, arena):
+        desc = arena.intern("ACGTACGT")
+        view = attach_segment(desc.arena_id)
+        window = np.frombuffer(
+            view, dtype=np.uint8, count=packed_nbytes(8), offset=desc.offset
+        )
+        assert unpack_bits(window, 8) == "ACGTACGT"
+
+    def test_attach_unknown_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach_segment("wfarena-0-does-not-exist")
+
+    def test_detach_is_idempotent(self, arena):
+        desc = arena.intern("ACGT")
+        attach_segment(desc.arena_id)
+        detach_all_segments()
+        detach_all_segments()
+
+    def test_concurrent_attach_detach_churn(self, arena):
+        seqs = ["ACGT" * (k + 1) for k in range(6)]
+        blobs = [encode_descriptor(arena.intern(s)) for s in seqs]
+        queue = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_churn_worker, args=(blobs, 25, queue)
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        results = [queue.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        assert results == ["ok"] * 4
+        assert all(p.exitcode == 0 for p in procs)
+
+    @pytest.mark.slow
+    def test_sustained_churn_leaves_no_segments(self):
+        before = _shm_entries()
+        with SequenceArena(segment_bytes=256) as arena:
+            blobs = [
+                encode_descriptor(arena.intern("ACGT" * (k % 17 + 1)))
+                for k in range(64)
+            ]
+            queue = multiprocessing.Queue()
+            procs = [
+                multiprocessing.Process(
+                    target=_churn_worker, args=(blobs, 100, queue)
+                )
+                for _ in range(4)
+            ]
+            for p in procs:
+                p.start()
+            results = [queue.get(timeout=120) for _ in procs]
+            for p in procs:
+                p.join(timeout=60)
+            assert results == ["ok"] * 4
+        detach_all_segments()
+        assert _shm_entries() - before == set()
+        assert leaked_segments() == []

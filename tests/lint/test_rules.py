@@ -349,6 +349,99 @@ class TestW005PickleBoundary:
         assert result.reported == []
 
 
+class TestW005DescriptorContract:
+    """The zero-copy half of W005: no live buffers at the boundary."""
+
+    def test_buffer_in_payload_alias_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/protocol.py": """\
+                from multiprocessing.shared_memory import SharedMemory
+
+                ShmChunkPayload = tuple[str, SharedMemory, list[int]]
+                """
+            }
+        )
+        assert _rules(result) == ["W005"]
+        assert "(arena_id, offset, length)" in result.reported[0].message
+
+    def test_memoryview_in_item_alias_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/protocol.py": """\
+                ShmItem = tuple[int, memoryview, int]
+                """
+            }
+        )
+        assert _rules(result) == ["W005"]
+
+    def test_buffer_annotation_on_boundary_class_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/config.py": """\
+                import numpy as np
+                from dataclasses import dataclass
+
+                @dataclass
+                class EngineConfig:
+                    packed: np.ndarray | None = None
+                """
+            }
+        )
+        assert _rules(result) == ["W005"]
+        assert "annotated with the live buffer type" in (
+            result.reported[0].message
+        )
+
+    def test_shared_memory_stored_on_backend_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/align/backends.py": """\
+                from multiprocessing.shared_memory import SharedMemory
+
+                class ArenaBackend:
+                    def __init__(self, name):
+                        self.segment = SharedMemory(name=name)
+                """
+            }
+        )
+        assert _rules(result) == ["W005"]
+        assert "live `SharedMemory` buffer" in result.reported[0].message
+
+    def test_descriptor_alias_passes(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/protocol.py": """\
+                ShmItem = tuple[int, tuple[str, int, int], int, int]
+                ShmChunkPayload = tuple[str, bool, str, list[ShmItem]]
+                """
+            }
+        )
+        assert result.reported == []
+
+    def test_alias_outside_boundary_paths_passes(self, lint_tree):
+        # Same alias in a non-boundary package: out of W005's scope.
+        result = lint_tree(
+            {
+                "src/repro/obs/protocol.py": """\
+                TracePayload = tuple[str, memoryview]
+                """
+            }
+        )
+        assert result.reported == []
+
+    def test_suppressed_with_justification(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/protocol.py": """\
+                DebugPayload = tuple[str, memoryview]  # wfalint: disable=W005 — in-process debug channel, never dispatched
+                """
+            }
+        )
+        assert result.reported == []
+        assert _rules_of(result.suppressed) == ["W005"]
+
+
 class TestW006MetricVocabulary:
     def test_typo_name_flagged(self, lint_tree):
         result = lint_tree(

@@ -40,7 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         default=None,
-        help="files or directories to lint (default: <--root>/src)",
+        help=(
+            "files or directories to lint (default: <--root>/src plus "
+            "benchmarks/ and examples/ when present)"
+        ),
     )
     parser.add_argument(
         "--root",
@@ -185,9 +188,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"wfalint: bad baseline: {exc}", file=sys.stderr)
         return 2
 
-    # The default target is `src` under --root, not under the cwd, so
-    # `repro-wfasic lint -- --format json` works from any directory.
-    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    # The default target is the CI scope under --root, not under the
+    # cwd, so `repro-wfasic lint -- --format json` works from any
+    # directory.  benchmarks/ and examples/ are optional: a source
+    # distribution may ship without them.
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [root / "src"] + [
+            root / extra
+            for extra in ("benchmarks", "examples")
+            if (root / extra).is_dir()
+        ]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"wfalint: no such path: {missing}", file=sys.stderr)

@@ -14,6 +14,16 @@ time.
 factory runs in-process and only its (picklable) result lands on the
 instance.  ``field(default=lambda ...)`` and ``attr = lambda`` class
 defaults are flagged — there the lambda itself becomes instance state.
+
+The rule also enforces the zero-copy *descriptor-only contract*
+(``docs/shared-memory.md``): live buffer objects — ``SharedMemory``
+handles, ``memoryview`` exports, raw ``ndarray`` views — must never
+appear on a boundary class or in a chunk-protocol type alias (a
+module-level alias named ``*Payload`` or ``*Item``).  Sequences cross
+the boundary as ``(arena_id, offset, length)`` descriptors; workers
+attach the named segment themselves.  Shipping the buffer instead
+either dies in ``pickle.dumps`` or — worse — silently copies the
+bytes, defeating the zero-copy path while tests stay green.
 """
 
 from __future__ import annotations
@@ -36,9 +46,35 @@ _BOUNDARY_CLASSES = {
 }
 _BOUNDARY_SUFFIXES = ("Backend",)
 
+#: Type names that denote live process-local buffers.  None of these may
+#: appear on a boundary class or in a chunk-protocol type alias — the
+#: descriptor-only contract ships ``(arena_id, offset, length)`` handles
+#: and lets the worker attach the segment itself.
+_BUFFER_NAMES = {
+    "SharedMemory",
+    "memoryview",
+    "ndarray",
+    "NDArray",
+    "mmap",
+}
+
+#: Module-level type aliases with these suffixes define the chunk
+#: protocol (what ``pickle.dumps`` actually serialises per dispatch).
+_PROTOCOL_ALIAS_SUFFIXES = ("Payload", "Item")
+
 
 def _is_boundary_class(name: str) -> bool:
     return name in _BOUNDARY_CLASSES or name.endswith(_BOUNDARY_SUFFIXES)
+
+
+def _banned_buffer_name(expr: ast.expr) -> str | None:
+    """First live-buffer type name appearing anywhere in ``expr``."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in _BUFFER_NAMES:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in _BUFFER_NAMES:
+            return node.attr
+    return None
 
 
 def _local_def_names(func: ast.AST) -> set[str]:
@@ -58,12 +94,17 @@ def _unpicklable_reason(
         return "a lambda"
     if isinstance(value, ast.Name) and value.id in local_defs:
         return f"the nested function `{value.id}`"
-    if (
-        isinstance(value, ast.Call)
-        and isinstance(value.func, ast.Name)
-        and value.func.id == "open"
-    ):
-        return "an open file handle"
+    if isinstance(value, ast.Call):
+        func = value.func
+        func_name = None
+        if isinstance(func, ast.Name):
+            func_name = func.id
+        elif isinstance(func, ast.Attribute):
+            func_name = func.attr
+        if func_name == "open":
+            return "an open file handle"
+        if func_name in _BUFFER_NAMES:
+            return f"a live `{func_name}` buffer"
     return None
 
 
@@ -75,19 +116,22 @@ class PickleBoundaryRule(Rule):
     name = "unpicklable-boundary-state"
     severity = "error"
     description = (
-        "Lambdas, nested functions and open handles must not be stored "
-        "on EngineConfig / PairItem / chunk payloads / backend classes — "
-        "they die in `pickle.dumps` at dispatch time, only on the "
-        "parallel path."
+        "Lambdas, nested functions, open handles and live buffers "
+        "(SharedMemory / memoryview / ndarray) must not be stored on "
+        "EngineConfig / PairItem / chunk payloads / backend classes — "
+        "they die in `pickle.dumps` at dispatch time (or silently copy), "
+        "only on the parallel path.  Ship (arena_id, offset, length) "
+        "descriptors instead of buffers."
     )
     invariant = (
         "Everything the engine ships to a worker round-trips through "
-        "pickle (the chunk protocol); failures must be impossible, not "
-        "merely rare."
+        "pickle (the chunk protocol) and carries no live buffers; "
+        "failures must be impossible, not merely rare."
     )
     path_fragments = ("repro/engine/", "repro/align/", "repro/workloads/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_protocol_aliases(ctx)
         for cls in ast.walk(ctx.tree):
             if not isinstance(cls, ast.ClassDef):
                 continue
@@ -98,14 +142,50 @@ class PickleBoundaryRule(Rule):
                 if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     yield from self._check_method(ctx, cls, method)
 
+    def _check_protocol_aliases(self, ctx: FileContext) -> Iterator[Finding]:
+        """Module-level ``*Payload`` / ``*Item`` aliases stay buffer-free."""
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if not target.id.endswith(_PROTOCOL_ALIAS_SUFFIXES):
+                continue
+            banned = _banned_buffer_name(value)
+            if banned is not None:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"chunk-protocol alias `{target.id}` references the "
+                    f"live buffer type `{banned}`; ship (arena_id, offset, "
+                    "length) descriptors — workers attach the segment "
+                    "themselves",
+                )
+
     def _check_class_body(
         self, ctx: FileContext, cls: ast.ClassDef
     ) -> Iterator[Finding]:
-        """Dataclass-style field defaults directly in the class body."""
+        """Dataclass-style field annotations and defaults in the body."""
         for stmt in cls.body:
-            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt, ast.AnnAssign):
                 target = stmt.target
                 attr = target.id if isinstance(target, ast.Name) else "?"
+                banned = _banned_buffer_name(stmt.annotation)
+                if banned is not None:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"`{cls.name}.{attr}` is annotated with the live "
+                        f"buffer type `{banned}`; boundary classes carry "
+                        "(arena_id, offset, length) descriptors, not "
+                        "buffers",
+                    )
+                if stmt.value is None:
+                    continue
                 yield from self._check_default(ctx, cls, attr, stmt.value)
             elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
                 target = stmt.targets[0]
