@@ -141,6 +141,7 @@ REPO_ROOT = Path(__file__).parent.parent
 BENCH_JSON = RESULTS_DIR / "BENCH_pr2.json"
 BENCH_JSON_PR4 = RESULTS_DIR / "BENCH_pr4.json"
 BENCH_JSON_PR6 = RESULTS_DIR / "BENCH_pr6.json"
+BENCH_JSON_PR7 = RESULTS_DIR / "BENCH_pr7.json"
 
 
 def _bench_recorder(path: Path):
@@ -185,6 +186,12 @@ def bench_json_pr4():
 def bench_json_pr6():
     """Merge machine-readable results into ``BENCH_pr6.json``."""
     return _bench_recorder(BENCH_JSON_PR6)
+
+
+@pytest.fixture(scope="session")
+def bench_json_pr7():
+    """Merge machine-readable results into ``BENCH_pr7.json``."""
+    return _bench_recorder(BENCH_JSON_PR7)
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .wfa import NULL_OFFSET
+from .wfa import NULL_OFFSET, PROG_NULL
 
 __all__ = [
     "ORIGIN_M_NONE",
@@ -31,10 +31,12 @@ __all__ = [
     "ORIGIN_I_EXT_BIT",
     "ORIGIN_D_EXT_BIT",
     "BAND_ABSENT",
+    "BandPruneOutput",
     "ComputeOutput",
     "ExtendOutput",
     "BatchedComputeOutput",
     "BatchedExtendOutput",
+    "band_prune_batched",
     "compute_kernel",
     "extend_kernel",
     "compute_kernel_batched",
@@ -242,6 +244,75 @@ def compute_kernel_batched(
         live_m=(mwf >= 0).any(axis=1),
         live_i=(ins >= 0).any(axis=1),
         live_d=(dele >= 0).any(axis=1),
+    )
+
+
+@dataclass(frozen=True)
+class BandPruneOutput:
+    """Result of one adaptive band-pruning step for a whole batch."""
+
+    m: np.ndarray  # int64 (pairs, new_width), NULL_OFFSET padded
+    i: np.ndarray
+    d: np.ndarray
+    lo: np.ndarray  # int64 (pairs,): new band start per pair
+    hi: np.ndarray  # int64 (pairs,): new band end per pair
+    pruned: np.ndarray  # int64 (pairs,): live cells discarded per pair
+
+
+def band_prune_batched(
+    m: np.ndarray,
+    i: np.ndarray,
+    d: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    band_width: int,
+    keep: np.ndarray,
+) -> BandPruneOutput:
+    """Trim every pair's wavefronts to ``band_width`` diagonals at once.
+
+    The batched twin of ``WfaAligner._prune_band`` with identical
+    semantics: each row re-centers on its cell of maximum anti-diagonal
+    progress ``2 * offset - k`` (ties to the lowest diagonal, matching
+    ``np.argmax`` row-wise), clamps the window inside ``lo..hi``, and
+    gathers M/I/D into one shared band.  Rows flagged in ``keep``
+    (retiring pairs whose full-width wavefront feeds the backtrace) and
+    rows already no wider than the band pass through untouched;
+    ``pruned`` counts the live cells each row discarded.
+    """
+    width = m.shape[1]
+    w_rows = hi - lo + 1  # nonsense for BAND_ABSENT rows; masked below
+    live_any = (m >= 0).any(axis=1)
+    need = live_any & ~keep & (w_rows > band_width)
+    if not need.any():
+        zeros = np.zeros(m.shape[0], dtype=np.int64)
+        return BandPruneOutput(m=m, i=i, d=d, lo=lo, hi=hi, pruned=zeros)
+
+    ks = lo[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    prog = np.where(m >= 0, 2 * m - ks, PROG_NULL)
+    center = lo + np.argmax(prog, axis=1)
+    blo = np.clip(center - band_width // 2, lo, hi - band_width + 1)
+    blo = np.where(need, blo, lo)
+    bhi = np.where(need, blo + band_width - 1, hi)
+
+    outside = (ks < blo[:, None]) | (ks > bhi[:, None])
+    pruned = np.zeros(m.shape[0], dtype=np.int64)
+    for arr in (m, i, d):
+        pruned += ((arr >= 0) & outside).sum(axis=1)
+
+    new_width = int((bhi - blo).max()) + 1
+    # The gather masks by the *source* band, so a pruned row whose new
+    # window starts at its old ``lo`` would keep cells beyond ``bhi`` in
+    # its padding columns; null everything past each row's new window.
+    in_window = (
+        np.arange(new_width, dtype=np.int64)[None, :] <= (bhi - blo)[:, None]
+    )
+
+    def shrink(arr: np.ndarray) -> np.ndarray:
+        out = gather_window_batched(arr, lo, hi, blo, new_width, 0)
+        return np.where(in_window, out, NULL_OFFSET)
+
+    return BandPruneOutput(
+        m=shrink(m), i=shrink(i), d=shrink(d), lo=blo, hi=bhi, pruned=pruned
     )
 
 

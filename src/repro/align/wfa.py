@@ -30,7 +30,9 @@ from .cigar import Cigar
 from .penalties import AffinePenalties, DEFAULT_PENALTIES
 
 __all__ = [
+    "BYTES_PER_CELL",
     "NULL_OFFSET",
+    "PROG_NULL",
     "Wavefront",
     "WfaWorkCounters",
     "WfaResult",
@@ -43,6 +45,14 @@ __all__ = [
 #: Far more negative than any valid offset, but with headroom so that the
 #: ``+1`` updates of Eq. 3 can never wrap it into the valid range.
 NULL_OFFSET = -(2**30)
+
+#: Progress sentinel for dead cells in the band-recentering heuristic;
+#: far below any reachable ``2 * offset - k`` so dead cells never win.
+PROG_NULL = -(2**62)
+
+#: Bytes per stored wavefront cell (int64 offsets) in the memory model
+#: behind :attr:`WfaWorkCounters.peak_wavefront_bytes`.
+BYTES_PER_CELL = 8
 
 
 @dataclass
@@ -107,6 +117,14 @@ class WfaWorkCounters:
     peak_wavefront_width: int = 0
     #: Total wavefront cells allocated over the run (memory traffic proxy).
     cells_allocated: int = 0
+    #: Live cells discarded by adaptive band pruning (0 on exact runs; 0
+    #: also proves a banded result is bit-identical to the exact one).
+    band_pruned_cells: int = 0
+    #: Peak bytes of simultaneously *stored* wavefront cells (int64 each).
+    #: This is the semantic memory model: with backtrace every stored
+    #: generation counts until the run ends; without it, cells leave the
+    #: model when they fall out of the recurrence window.
+    peak_wavefront_bytes: int = 0
 
     def merge(self, other: "WfaWorkCounters") -> None:
         self.score_iterations += other.score_iterations
@@ -118,15 +136,26 @@ class WfaWorkCounters:
             self.peak_wavefront_width, other.peak_wavefront_width
         )
         self.cells_allocated += other.cells_allocated
+        self.band_pruned_cells += other.band_pruned_cells
+        self.peak_wavefront_bytes = max(
+            self.peak_wavefront_bytes, other.peak_wavefront_bytes
+        )
 
 
 @dataclass(frozen=True)
 class WfaResult:
-    """Outcome of a WFA alignment."""
+    """Outcome of a WFA alignment.
+
+    ``reached_end`` is always ``True`` on exact runs.  Under adaptive
+    banding it is ``False`` when the band lost the optimal path and the
+    run was abandoned (``score`` is then ``-1`` and ``cigar`` ``None``);
+    callers must retry such pairs with an exact aligner.
+    """
 
     score: int
     cigar: Cigar | None
     work: WfaWorkCounters = field(repr=False, default_factory=WfaWorkCounters)
+    reached_end: bool = True
 
 
 class WfaAligner:
@@ -145,6 +174,15 @@ class WfaAligner:
         aligner raises :class:`ScoreLimitExceeded` — the software analog of
         the hardware's ``Score_max = k_max * 2 + 4`` bound (Eq. 6) that
         clears the Success flag.
+    band_width:
+        Adaptive wavefront band (Scrooge/ABSW direction): after every
+        wavefront step, keep only ``band_width`` diagonals re-centered on
+        the furthest-reaching cell, so peak memory is O(band x score)
+        instead of O(length x score).  Results are bit-identical to exact
+        WFA whenever the optimal path stays in band
+        (``work.band_pruned_cells == 0`` is a sufficient witness); when
+        the band loses the path the run ends with ``reached_end=False``
+        instead of raising, and the caller retries exactly.
     """
 
     def __init__(
@@ -153,10 +191,14 @@ class WfaAligner:
         *,
         keep_backtrace: bool = True,
         max_score: int | None = None,
+        band_width: int | None = None,
     ) -> None:
+        if band_width is not None and band_width < 1:
+            raise ValueError(f"band_width must be >= 1, got {band_width}")
         self.penalties = penalties
         self.keep_backtrace = keep_backtrace
         self.max_score = max_score
+        self.band_width = band_width
 
     # -- public API ----------------------------------------------------
 
@@ -181,6 +223,8 @@ class WfaAligner:
         M[0] = wf0
         work.cells_allocated += 1
         work.peak_wavefront_width = 1
+        live_cells = 1
+        work.peak_wavefront_bytes = BYTES_PER_CELL * live_cells
         if wf0.get(k_final) == m:
             cigar = self._backtrace(a, b, M, I, D, 0) if self.keep_backtrace else None
             return WfaResult(score=0, cigar=cigar, work=work)
@@ -188,18 +232,31 @@ class WfaAligner:
         x, oe, e = p.mismatch, p.gap_open_total, p.gap_extend
         step = p.score_granularity
         ceiling = self.max_score
+        span = p.max_window_span()
         hard_cap = 2 * p.gap_open + e * (n + m) + x  # no alignment can cost more
 
         s = 0
+        last_live_s = 0
         while True:
             s += step
             if ceiling is not None and s > ceiling:
                 raise ScoreLimitExceeded(s, ceiling, work)
             if s > hard_cap:
+                if self.band_width is not None:
+                    return WfaResult(score=-1, cigar=None, work=work, reached_end=False)
                 raise AssertionError(
                     f"WFA failed to terminate below the hard score cap {hard_cap}"
                 )
             work.score_iterations += 1
+
+            # Once no wavefront exists inside the recurrence window, none
+            # can ever appear again: the banded run is dead (the band lost
+            # the optimal path and every survivor ran off the matrix).
+            if self.band_width is not None and s - last_live_s > span:
+                return WfaResult(score=-1, cigar=None, work=work, reached_end=False)
+
+            if not self.keep_backtrace:
+                live_cells -= self._evict(M, I, D, s, p)
 
             src_mx = M.get(s - x)
             src_moe = M.get(s - oe)
@@ -214,22 +271,35 @@ class WfaAligner:
             if wf_m is None:
                 continue
             self._extend(wf_m, av, bv, work)
+            work.wavefront_steps += 1
+            work.peak_wavefront_width = max(work.peak_wavefront_width, wf_m.num_cells)
+
+            converged = wf_m.get(k_final) == m
+            if (
+                not converged
+                and self.band_width is not None
+                and wf_m.num_cells > self.band_width
+            ):
+                wf_m, wf_i, wf_d = self._prune_band(wf_m, wf_i, wf_d, work)
+
             M[s] = wf_m
             if wf_i is not None:
                 I[s] = wf_i
             if wf_d is not None:
                 D[s] = wf_d
-            work.wavefront_steps += 1
-            work.peak_wavefront_width = max(work.peak_wavefront_width, wf_m.num_cells)
+            live_cells += wf_m.num_cells
+            live_cells += wf_i.num_cells if wf_i is not None else 0
+            live_cells += wf_d.num_cells if wf_d is not None else 0
+            work.peak_wavefront_bytes = max(
+                work.peak_wavefront_bytes, BYTES_PER_CELL * live_cells
+            )
+            last_live_s = s
 
-            if wf_m.get(k_final) == m:
+            if converged:
                 cigar = (
                     self._backtrace(a, b, M, I, D, s) if self.keep_backtrace else None
                 )
                 return WfaResult(score=s, cigar=cigar, work=work)
-
-            if not self.keep_backtrace:
-                self._evict(M, I, D, s, p)
 
     # -- operators -----------------------------------------------------
 
@@ -325,6 +395,45 @@ class WfaAligner:
         wf_d = Wavefront(lo, hi, dele) if (dele >= 0).any() else None
         return wf_m, wf_i, wf_d
 
+    def _prune_band(
+        self,
+        wf_m: Wavefront,
+        wf_i: Wavefront | None,
+        wf_d: Wavefront | None,
+        work: WfaWorkCounters,
+    ) -> tuple[Wavefront, Wavefront | None, Wavefront | None]:
+        """Trim M/I/D to ``band_width`` diagonals around the best cell.
+
+        "Best" is the cell with the largest anti-diagonal progress
+        ``i + j = 2 * offset - k`` (ABSW's re-centering heuristic applied
+        to wavefront diagonals); ties resolve to the lowest diagonal.  All
+        three matrices share one window so the recurrence stays coherent.
+        Discarded *live* cells are tallied in ``band_pruned_cells``.
+        """
+        bw = self.band_width
+        assert bw is not None
+        lo, hi = wf_m.lo, wf_m.hi
+        ks = np.arange(lo, hi + 1, dtype=np.int64)
+        prog = np.where(wf_m.offsets >= 0, 2 * wf_m.offsets - ks, PROG_NULL)
+        center = lo + int(np.argmax(prog))
+        blo = max(lo, min(center - bw // 2, hi - bw + 1))
+        bhi = blo + bw - 1
+
+        def trim(wf: Wavefront | None) -> Wavefront | None:
+            if wf is None:
+                return None
+            work.band_pruned_cells += int(
+                ((wf.offsets >= 0) & ((ks < blo) | (ks > bhi))).sum()
+            )
+            window = wf.offsets[blo - lo : bhi - lo + 1].copy()
+            if not (window >= 0).any():
+                return None
+            return Wavefront(blo, bhi, window)
+
+        new_m = trim(wf_m)
+        assert new_m is not None  # the max-progress cell is inside the band
+        return new_m, trim(wf_i), trim(wf_d)
+
     def _evict(
         self,
         M: dict[int, Wavefront],
@@ -332,13 +441,20 @@ class WfaAligner:
         D: dict[int, Wavefront],
         s: int,
         p: AffinePenalties,
-    ) -> None:
-        """Drop wavefronts older than the recurrence window (score-only)."""
+    ) -> int:
+        """Drop wavefronts older than the recurrence window (score-only).
+
+        Returns the number of cells evicted so the caller can keep the
+        live-byte accounting behind ``peak_wavefront_bytes`` exact.
+        """
         horizon = s - p.max_window_span()
+        evicted = 0
         for store in (M, I, D):
             dead = [key for key in store if key < horizon]
             for key in dead:
+                evicted += store[key].num_cells
                 del store[key]
+        return evicted
 
     # -- backtrace -------------------------------------------------------
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from .kernels import (
     BAND_ABSENT,
+    band_prune_batched,
     compute_kernel_batched,
     extend_kernel_batched,
     gather_window_batched,
@@ -42,6 +43,7 @@ from .packing import PackCache, pack_batch
 from .penalties import AffinePenalties, DEFAULT_PENALTIES
 from .profile import StageProfiler
 from .wfa import (
+    BYTES_PER_CELL,
     NULL_OFFSET,
     ScoreLimitExceeded,
     Wavefront,
@@ -76,6 +78,9 @@ class _BatchRecord:
     m: np.ndarray
     i: np.ndarray
     d: np.ndarray
+    #: Per-row stored cells (band width x matrices actually live), the
+    #: unit behind the ``peak_wavefront_bytes`` memory model.
+    row_cells: np.ndarray
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired pairs' rows (``keep`` is a boolean row mask)."""
@@ -88,6 +93,7 @@ class _BatchRecord:
         self.m = self.m[keep]
         self.i = self.i[keep]
         self.d = self.d[keep]
+        self.row_cells = self.row_cells[keep]
 
 
 class BatchedWfaAligner:
@@ -112,8 +118,16 @@ class BatchedWfaAligner:
         sequences skip the string->uint8 packing step.
     profiler:
         Optional :class:`repro.align.profile.StageProfiler`; the aligner
-        charges its ``pack`` / ``compute`` / ``extend`` / ``backtrace``
-        / ``retire`` stages to it.
+        charges its ``pack`` / ``compute`` / ``extend`` / ``band`` /
+        ``backtrace`` / ``retire`` stages to it.
+    band_width:
+        Adaptive wavefront band, same semantics (and bit-identical
+        results) as ``WfaAligner(band_width=...)``: every surviving
+        pair's M/I/D wavefronts are trimmed to ``band_width`` diagonals
+        re-centered on the furthest-reaching cell after each step.
+        Pairs whose band loses the optimal path retire with
+        ``reached_end=False`` instead of raising; callers retry them
+        exactly.
     """
 
     def __init__(
@@ -124,12 +138,16 @@ class BatchedWfaAligner:
         max_score: int | None = None,
         pack_cache: PackCache | None = None,
         profiler: StageProfiler | None = None,
+        band_width: int | None = None,
     ) -> None:
+        if band_width is not None and band_width < 1:
+            raise ValueError(f"band_width must be >= 1, got {band_width}")
         self.penalties = penalties
         self.keep_backtrace = keep_backtrace
         self.max_score = max_score
         self.pack_cache = pack_cache
         self.profiler = profiler if profiler is not None else StageProfiler()
+        self.band_width = band_width
 
     def align(self, a: str, b: str) -> WfaResult:
         """Single-pair convenience: a batch of one."""
@@ -180,6 +198,9 @@ class BatchedWfaAligner:
         ext_cmp = np.zeros(num_pairs, dtype=np.int64)
         ext_match = np.zeros(num_pairs, dtype=np.int64)
         peak_width = np.zeros(num_pairs, dtype=np.int64)
+        band_pruned = np.zeros(num_pairs, dtype=np.int64)
+        live_cells = np.zeros(num_pairs, dtype=np.int64)
+        peak_cells = np.zeros(num_pairs, dtype=np.int64)
 
         hist_m: list[dict[int, Wavefront]] = [{} for _ in range(num_pairs)]
         hist_i: list[dict[int, Wavefront]] = [{} for _ in range(num_pairs)]
@@ -194,6 +215,8 @@ class BatchedWfaAligner:
                 extend_matches=int(ext_match[orig]),
                 peak_wavefront_width=int(peak_width[orig]),
                 cells_allocated=int(cells_alloc[orig]),
+                band_pruned_cells=int(band_pruned[orig]),
+                peak_wavefront_bytes=int(BYTES_PER_CELL * peak_cells[orig]),
             )
 
         # Live state, row-aligned to ``act`` (original indices still active).
@@ -224,31 +247,47 @@ class BatchedWfaAligner:
                 w = int(hi[r] - lo[r]) + 1
                 lo_r, hi_r = int(lo[r]), int(hi[r])
                 orig = int(act[r])
-                hist_m[orig][s] = Wavefront(lo_r, hi_r, out_m[r, :w])
+                # Copy the row slices: a view would pin the whole padded
+                # batch array alive for the pair's entire history, which
+                # is exactly the memory blow-up banding exists to avoid.
+                hist_m[orig][s] = Wavefront(lo_r, hi_r, out_m[r, :w].copy())
                 if out_i is not None and live_i[r]:
-                    hist_i[orig][s] = Wavefront(lo_r, hi_r, out_i[r, :w])
+                    hist_i[orig][s] = Wavefront(lo_r, hi_r, out_i[r, :w].copy())
                 if out_d is not None and live_d[r]:
-                    hist_d[orig][s] = Wavefront(lo_r, hi_r, out_d[r, :w])
+                    hist_d[orig][s] = Wavefront(lo_r, hi_r, out_d[r, :w].copy())
 
-        def retire(done: np.ndarray, s: int) -> bool:
-            """Finish ``done`` rows at score ``s``; True when batch is empty."""
-            nonlocal act, av2d, bv2d, ns, ms, kfin, hard_caps
-            with prof.stage("backtrace"):
+        def retire(done: np.ndarray, s: int, *, failed: bool = False) -> bool:
+            """Finish ``done`` rows at score ``s``; True when batch is empty.
+
+            ``failed`` rows (band loss / hard cap under banding) get a
+            ``reached_end=False`` result instead of a backtrace.
+            """
+            nonlocal act, av2d, bv2d, ns, ms, kfin, hard_caps, last_live
+            if failed:
                 for r in np.flatnonzero(done):
                     orig = int(act[r])
-                    a, b = pairs[orig]
-                    cigar = (
-                        backtrace_wavefronts(
-                            a, b, hist_m[orig], hist_i[orig], hist_d[orig], s, p
-                        )
-                        if self.keep_backtrace
-                        else None
-                    )
                     results[orig] = WfaResult(
-                        score=s, cigar=cigar, work=work_for(orig)
+                        score=-1, cigar=None, work=work_for(orig),
+                        reached_end=False,
                     )
-                    # History is per pair; free it as soon as it is spent.
                     hist_m[orig] = hist_i[orig] = hist_d[orig] = {}
+            else:
+                with prof.stage("backtrace"):
+                    for r in np.flatnonzero(done):
+                        orig = int(act[r])
+                        a, b = pairs[orig]
+                        cigar = (
+                            backtrace_wavefronts(
+                                a, b, hist_m[orig], hist_i[orig], hist_d[orig], s, p
+                            )
+                            if self.keep_backtrace
+                            else None
+                        )
+                        results[orig] = WfaResult(
+                            score=s, cigar=cigar, work=work_for(orig)
+                        )
+                        # History is per pair; free it as soon as it is spent.
+                        hist_m[orig] = hist_i[orig] = hist_d[orig] = {}
             with prof.stage("retire"):
                 keep = ~done
                 act = act[keep]
@@ -256,6 +295,7 @@ class BatchedWfaAligner:
                 bv2d = bv2d[keep]
                 ns, ms, kfin = ns[keep], ms[keep], kfin[keep]
                 hard_caps = hard_caps[keep]
+                last_live = last_live[keep]
                 for rec in records.values():
                     rec.compact(keep)
             return act.size == 0
@@ -271,6 +311,9 @@ class BatchedWfaAligner:
         ext_match[act] += ext0.matches
         cells_alloc[act] += 1
         peak_width[act] = 1
+        live_cells[act] += 1
+        peak_cells[act] = np.maximum(peak_cells[act], live_cells[act])
+        last_live = np.zeros(act.size, dtype=np.int64)
         absent = np.full(act.size, BAND_ABSENT, dtype=np.int64)
         null_col = np.full((act.size, 1), NULL_OFFSET, dtype=np.int64)
         records[0] = _BatchRecord(
@@ -283,6 +326,7 @@ class BatchedWfaAligner:
             m=ext0.offsets,
             i=null_col,
             d=null_col.copy(),
+            row_cells=np.ones(act.size, dtype=np.int64),
         )
         alive = np.ones(act.size, dtype=bool)
         store_history(0, lo0, hi0, ext0.offsets, None, None, alive, alive, alive)
@@ -299,13 +343,36 @@ class BatchedWfaAligner:
                 for orig in act:
                     merged.merge(work_for(int(orig)))
                 raise ScoreLimitExceeded(s, self.max_score, merged)
-            if (s > hard_caps).any():
-                raise AssertionError(
-                    "batched WFA failed to terminate below the hard score cap "
-                    f"{int(hard_caps.max())}"
-                )
+            over = s > hard_caps
+            if over.any():
+                if self.band_width is None:
+                    raise AssertionError(
+                        "batched WFA failed to terminate below the hard score "
+                        f"cap {int(hard_caps.max())}"
+                    )
+                if retire(over, s, failed=True):
+                    return _finalize(results)
             score_iters[act] += 1
-            self._evict(records, s, span)
+
+            # Once a pair has had no wavefront for a full recurrence window
+            # it can never produce one again: the band lost the optimal
+            # path and every survivor ran off the matrix.
+            if self.band_width is not None:
+                band_dead = (s - last_live) > span
+                if band_dead.any() and retire(band_dead, s, failed=True):
+                    return _finalize(results)
+
+            # Drop batch records behind the recurrence window.  Safe even
+            # with backtrace on: CIGAR recovery reads the per-pair history
+            # snapshots, never the batch records, so the batch only ever
+            # holds ``span`` scores.  Without backtrace the history does
+            # not exist either, so eviction is when stored cells leave the
+            # ``peak_wavefront_bytes`` memory model.
+            horizon = s - span
+            for key in [key for key in records if key < horizon]:
+                rec = records.pop(key)
+                if not self.keep_backtrace:
+                    live_cells[act] -= rec.row_cells
 
             rec_x = records.get(s - x)
             rec_oe = records.get(s - oe)
@@ -388,43 +455,62 @@ class BatchedWfaAligner:
                 peak_width[act], np.where(out.live_m, w_rows, 0)
             )
 
-            records[s] = _BatchRecord(
-                lo_m=np.where(out.live_m, lo_new, BAND_ABSENT),
-                hi_m=np.where(out.live_m, hi_new, -BAND_ABSENT),
-                lo_i=np.where(out.live_i, lo_new, BAND_ABSENT),
-                hi_i=np.where(out.live_i, hi_new, -BAND_ABSENT),
-                lo_d=np.where(out.live_d, lo_new, BAND_ABSENT),
-                hi_d=np.where(out.live_d, hi_new, -BAND_ABSENT),
-                m=ext.offsets,
-                i=out.i,
-                d=out.d,
-            )
-            store_history(
-                s, lo_new, hi_new, ext.offsets, out.i, out.d,
-                out.live_m, out.live_i, out.live_d,
-            )
-
-            # Convergence: M reached offset m on the final diagonal.
+            # Convergence: M reached offset m on the final diagonal.  The
+            # check runs on the *full* wavefront, before any pruning, so
+            # retiring pairs always feed an untrimmed step to backtrace.
             cols = kfin - lo_new
             in_band = (cols >= 0) & (cols <= hi_new - lo_new)
             vals = ext.offsets[
                 np.arange(act.size), np.clip(cols, 0, width - 1)
             ]
             done = out.live_m & in_band & (vals == ms)
+
+            m_f, i_f, d_f = ext.offsets, out.i, out.d
+            lo_f, hi_f = lo_new, hi_new
+            live_m_f, live_i_f, live_d_f = out.live_m, out.live_i, out.live_d
+            if self.band_width is not None:
+                with prof.stage("band"):
+                    pr = band_prune_batched(
+                        ext.offsets, out.i, out.d, lo_new, hi_new,
+                        self.band_width, done,
+                    )
+                    m_f, i_f, d_f = pr.m, pr.i, pr.d
+                    lo_f, hi_f = pr.lo, pr.hi
+                    band_pruned[act] += pr.pruned
+                    # A matrix can go empty once trimmed; liveness (and so
+                    # storage) is re-derived from the pruned arrays.
+                    live_m_f = (m_f >= 0).any(axis=1)
+                    live_i_f = (i_f >= 0).any(axis=1)
+                    live_d_f = (d_f >= 0).any(axis=1)
+
+            w_f = np.where(live_m_f, hi_f - lo_f + 1, 0)
+            records[s] = _BatchRecord(
+                lo_m=np.where(live_m_f, lo_f, BAND_ABSENT),
+                hi_m=np.where(live_m_f, hi_f, -BAND_ABSENT),
+                lo_i=np.where(live_i_f, lo_f, BAND_ABSENT),
+                hi_i=np.where(live_i_f, hi_f, -BAND_ABSENT),
+                lo_d=np.where(live_d_f, lo_f, BAND_ABSENT),
+                hi_d=np.where(live_d_f, hi_f, -BAND_ABSENT),
+                m=m_f,
+                i=i_f,
+                d=d_f,
+                row_cells=w_f
+                * (
+                    live_m_f.astype(np.int64)
+                    + live_i_f.astype(np.int64)
+                    + live_d_f.astype(np.int64)
+                ),
+            )
+            store_history(
+                s, lo_f, hi_f, m_f, i_f, d_f,
+                live_m_f, live_i_f, live_d_f,
+            )
+            live_cells[act] += records[s].row_cells
+            peak_cells[act] = np.maximum(peak_cells[act], live_cells[act])
+            last_live = np.where(live_m_f, s, last_live)
+
             if done.any() and retire(done, s):
                 return _finalize(results)
-
-    @staticmethod
-    def _evict(records: dict[int, _BatchRecord], s: int, span: int) -> None:
-        """Drop batch records behind the recurrence window.
-
-        Unlike the per-pair aligners this is safe even with backtrace on:
-        CIGAR recovery reads the per-pair history snapshots, never the
-        batch records, so the batch only ever holds ``span`` scores.
-        """
-        horizon = s - span
-        for key in [key for key in records if key < horizon]:
-            del records[key]
 
 
 def _finalize(results: list[WfaResult | None]) -> list[WfaResult]:

@@ -40,7 +40,12 @@ from pathlib import Path
 from typing import Sequence
 
 from .align import DEFAULT_PENALTIES, AffinePenalties
-from .engine import BatchAlignmentEngine, EngineConfig, backend_names
+from .engine import (
+    BatchAlignmentEngine,
+    EngineConfig,
+    backend_names,
+    merge_batch_reports,
+)
 from .obs import (
     MetricsRegistry,
     RunManifest,
@@ -60,8 +65,11 @@ from .wfasic.fpga_model import U280, fpga_report
 from .workloads import (
     PairGenerator,
     input_set_names,
+    iter_pair_chunks,
     make_input_set,
+    read_pairs_file,
     read_seq_file,
+    stream_pairs,
     write_seq_file,
 )
 
@@ -100,7 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     bat = sub.add_parser("batch", help="parallel batch alignment engine")
     bat.add_argument(
-        "input", nargs="?", help="input .seq path (omit with --generate)"
+        "input",
+        nargs="?",
+        help="input path — .seq, FASTA or FASTQ, autodetected "
+        "(omit with --generate)",
     )
     bat.add_argument(
         "--generate",
@@ -111,6 +122,28 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("-n", "--num-pairs", type=int, default=200)
     bat.add_argument("--error-rate", type=float, default=0.05)
     bat.add_argument("--seed", type=int, default=0)
+    bat.add_argument(
+        "--long-read",
+        action="store_true",
+        help="with --generate: the ONT-like indel-heavy long-read "
+        "profile (10-100 kbp)",
+    )
+    bat.add_argument(
+        "--band",
+        type=int,
+        default=None,
+        metavar="DIAGONALS",
+        help="adaptive wavefront band width (band-capable backends "
+        "only; a dead band falls back to exact alignment)",
+    )
+    bat.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=None,
+        metavar="PAIRS",
+        help="stream the input file through the engine this many pairs "
+        "at a time (bounded memory; incompatible with --metrics)",
+    )
     bat.add_argument(
         "--backend", choices=backend_names(), default="vectorized"
     )
@@ -273,30 +306,82 @@ def _parse_penalties(spec: str | None) -> AffinePenalties:
         raise SystemExit(f"invalid --penalties {spec!r}: {exc}")
 
 
+def _outcome_rows(pairs, outcomes) -> list[dict]:
+    """Result rows for the ``batch`` output document, in input order."""
+    return [
+        {
+            "pair_id": pair.pair_id,
+            "score": outcome.score,
+            "success": outcome.success,
+            "cigar": outcome.cigar,
+            "ok": outcome.ok,
+            "error_kind": outcome.error_kind,
+            "error_msg": outcome.error_msg,
+        }
+        for pair, outcome in zip(pairs, outcomes)
+    ]
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     if (args.input is None) == (args.generate is None):
         print(
-            "batch needs an input .seq file or --generate (not both)",
+            "batch needs an input file or --generate (not both)",
             file=sys.stderr,
         )
         return 2
-    if args.input is not None:
-        try:
-            pairs = read_seq_file(args.input)
-        except ValueError as exc:
-            print(f"cannot read input: {exc}", file=sys.stderr)
+    if args.long_read and args.generate is None:
+        print("--long-read needs --generate LENGTH", file=sys.stderr)
+        return 2
+    if args.stream_chunk is not None:
+        if args.input is None:
+            print(
+                "--stream-chunk streams a file input, not --generate",
+                file=sys.stderr,
+            )
+            return 2
+        if args.metrics:
+            print(
+                "--stream-chunk is incompatible with --metrics: the run "
+                "manifest fingerprints the whole dataset, which streaming "
+                "never holds",
+                file=sys.stderr,
+            )
+            return 2
+        if args.stream_chunk < 1:
+            print("--stream-chunk must be >= 1", file=sys.stderr)
+            return 2
+
+    pairs: list = []
+    if args.stream_chunk is None:
+        if args.input is not None:
+            try:
+                pairs = read_pairs_file(args.input)
+            except ValueError as exc:
+                print(f"cannot read input: {exc}", file=sys.stderr)
+                return 1
+        else:
+            try:
+                if args.long_read:
+                    gen = PairGenerator.long_read(
+                        length=args.generate,
+                        error_rate=args.error_rate,
+                        seed=args.seed,
+                        max_text_length=args.generate,
+                    )
+                else:
+                    gen = PairGenerator(
+                        length=args.generate,
+                        error_rate=args.error_rate,
+                        seed=args.seed,
+                        max_text_length=args.generate,
+                    )
+            except ValueError as exc:
+                print(f"invalid workload: {exc}", file=sys.stderr)
+                return 2
+            pairs = gen.batch(args.num_pairs)
+        if not pairs:
+            print("input file holds no pairs", file=sys.stderr)
             return 1
-    else:
-        gen = PairGenerator(
-            length=args.generate,
-            error_rate=args.error_rate,
-            seed=args.seed,
-            max_text_length=args.generate,
-        )
-        pairs = gen.batch(args.num_pairs)
-    if not pairs:
-        print("input file holds no pairs", file=sys.stderr)
-        return 1
 
     try:
         config = EngineConfig(
@@ -310,6 +395,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             chunk_timeout=args.timeout if args.timeout > 0 else None,
             max_chunk_retries=args.retries,
             shared_memory=not args.no_shm,
+            band_width=args.band,
         )
     except ValueError as exc:
         print(f"invalid engine configuration: {exc}", file=sys.stderr)
@@ -326,9 +412,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         previous_tracer = install_tracer(tracer)
     try:
         with BatchAlignmentEngine(config) as engine:
-            result = engine.align_batch(pairs)
+            if args.stream_chunk is not None:
+                # Bounded-memory ingestion: one long-lived engine (its
+                # cache and pool persist), one batch per streamed chunk,
+                # the reports folded into a single summary at the end.
+                rows: list[dict] = []
+                reports = []
+                for chunk in iter_pair_chunks(
+                    stream_pairs(args.input), args.stream_chunk
+                ):
+                    result = engine.align_batch(chunk)
+                    reports.append(result.report)
+                    rows += _outcome_rows(chunk, result.outcomes)
+                if not reports:
+                    print("input file holds no pairs", file=sys.stderr)
+                    return 1
+                report = merge_batch_reports(reports)
+            else:
+                result = engine.align_batch(pairs)
+                report = result.report
+                rows = _outcome_rows(pairs, result.outcomes)
     except (TypeError, ValueError) as exc:
-        # Strict mode (or a type error) fails the whole batch up front.
+        # Strict mode, a malformed streamed file, or a type error fails
+        # the whole batch up front.
         print(f"batch failed: {exc}", file=sys.stderr)
         return 1
     finally:
@@ -353,26 +459,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             pairs=pairs,
             dataset_source=source,
             seed=args.seed if args.input is None else None,
-            report=result.report.as_dict(),
+            report=report.as_dict(),
         )
         manifest.write(args.metrics)
         print(f"wrote run manifest to {args.metrics}", file=sys.stderr)
 
-    rows = [
-        {
-            "pair_id": pair.pair_id,
-            "score": outcome.score,
-            "success": outcome.success,
-            "cigar": outcome.cigar,
-            "ok": outcome.ok,
-            "error_kind": outcome.error_kind,
-            "error_msg": outcome.error_msg,
-        }
-        for pair, outcome in zip(pairs, result.outcomes)
-    ]
     if args.format == "json":
         doc = json.dumps(
-            {"summary": result.report.as_dict(), "results": rows}, indent=2
+            {"summary": report.as_dict(), "results": rows}, indent=2
         )
     else:
         lines = ["pair_id\tscore\tsuccess\tcigar"]
@@ -390,12 +484,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(doc)
     # The human-readable counters always go to stdout so the engine's
     # throughput is visible whatever the results format.
-    print(result.report.describe())
+    print(report.describe())
     if args.profile:
-        print(result.report.describe_profile())
+        print(report.describe_profile())
     # Per-pair fault isolation keeps the batch alive, but the exit code
     # still tells automation that some pairs errored.
-    return 1 if result.report.errors else 0
+    return 1 if report.errors else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:

@@ -37,6 +37,7 @@ from .engine import (
     EngineResult,
     WorkerStats,
     align_pairs,
+    merge_batch_reports,
 )
 from .validation import (
     ERROR_BACKEND,
@@ -69,6 +70,7 @@ __all__ = [
     "backend_names",
     "classify_pair",
     "get_backend",
+    "merge_batch_reports",
     "normalize_pair",
     "register_backend",
 ]

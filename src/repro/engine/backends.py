@@ -114,6 +114,10 @@ class AlignmentBackend:
     """Base class: a named chunk-at-a-time alignment strategy."""
 
     name: str = "?"
+    #: Whether this backend understands adaptive wavefront banding: the
+    #: engine passes ``band_width`` to :meth:`align_chunk_profiled` (and
+    #: relies on its exact-fallback contract) only when this is ``True``.
+    supports_band: bool = False
 
     def align_chunk(
         self,
@@ -139,7 +143,11 @@ class AlignmentBackend:
         The engine always dispatches through this method; the default
         wraps :meth:`align_chunk` with no profile.  Backends with an
         instrumented hot path (``batched``) override it to return their
-        :meth:`repro.align.StageProfiler.as_dict` payload.
+        :meth:`repro.align.StageProfiler.as_dict` payload.  Backends
+        declaring ``supports_band`` additionally accept a ``band_width``
+        keyword and must retry any pair whose banded run came back
+        ``reached_end=False`` with an exact aligner, so a dead band
+        degrades to exact alignment instead of a failed pair.
         """
         return self.align_chunk(items, penalties, backtrace), None
 
@@ -169,6 +177,43 @@ class _SoftwareWfaBackend(AlignmentBackend):
 class ScalarWfaBackend(_SoftwareWfaBackend):
     name = "scalar"
     aligner_cls = WfaAligner
+    supports_band = True
+
+    def align_chunk_profiled(
+        self,
+        items: Sequence[PairItem],
+        penalties: AffinePenalties,
+        backtrace: bool,
+        band_width: int | None = None,
+    ) -> tuple[list[PairOutcome], dict | None]:
+        """Chunk loop with optional adaptive banding + exact fallback."""
+        if band_width is None:
+            return super().align_chunk_profiled(items, penalties, backtrace)
+        profiler = StageProfiler()
+        banded = WfaAligner(
+            penalties, keep_backtrace=backtrace, band_width=band_width
+        )
+        exact = WfaAligner(penalties, keep_backtrace=backtrace)
+        out: list[PairOutcome] = []
+        fallbacks = 0
+        peak_bytes = 0
+        for slot, pattern, text in items:
+            res = banded.align(pattern, text)
+            pair_peak = res.work.peak_wavefront_bytes
+            if not res.reached_end:
+                fallbacks += 1
+                res = exact.align(pattern, text)
+                pair_peak = max(pair_peak, res.work.peak_wavefront_bytes)
+            peak_bytes += pair_peak
+            cigar = (
+                res.cigar.compact()
+                if backtrace and res.cigar is not None
+                else None
+            )
+            out.append(PairOutcome(slot=slot, score=res.score, cigar=cigar))
+        profiler.count("band_fallbacks", fallbacks)
+        profiler.count("peak_wavefront_bytes", peak_bytes)
+        return out, profiler.as_dict()
 
 
 class VectorizedWfaBackend(_SoftwareWfaBackend):
@@ -195,6 +240,7 @@ class BatchedWfaBackend(AlignmentBackend):
     """
 
     name = "batched"
+    supports_band = True
 
     def align_chunk(
         self,
@@ -209,16 +255,44 @@ class BatchedWfaBackend(AlignmentBackend):
         items: Sequence[PairItem],
         penalties: AffinePenalties,
         backtrace: bool,
+        band_width: int | None = None,
     ) -> tuple[list[PairOutcome], dict | None]:
+        """One lockstep batch, banded when asked, with exact retry.
+
+        Under ``band_width`` the chunk first runs banded; pairs whose
+        band died (``reached_end=False``) are re-batched through an
+        exact aligner, so a collapsed band degrades to exact alignment
+        instead of a failed pair.  The profile carries
+        ``band_fallbacks`` (retried pairs) and ``peak_wavefront_bytes``
+        (summed per-pair peak stored wavefront bytes) as pure counters.
+        """
         profiler = StageProfiler()
         aligner = BatchedWfaAligner(
             penalties,
             keep_backtrace=backtrace,
             pack_cache=_PACK_CACHE,
             profiler=profiler,
+            band_width=band_width,
         )
-        results = aligner.align_batch(
-            [(pattern, text) for _, pattern, text in items]
+        batch_pairs = [(pattern, text) for _, pattern, text in items]
+        results = aligner.align_batch(batch_pairs)
+        if band_width is not None:
+            failed = [i for i, r in enumerate(results) if not r.reached_end]
+            if failed:
+                exact = BatchedWfaAligner(
+                    penalties,
+                    keep_backtrace=backtrace,
+                    pack_cache=_PACK_CACHE,
+                    profiler=profiler,
+                )
+                for i, res in zip(
+                    failed, exact.align_batch([batch_pairs[i] for i in failed])
+                ):
+                    results[i] = res
+            profiler.count("band_fallbacks", len(failed))
+        profiler.count(
+            "peak_wavefront_bytes",
+            sum(r.work.peak_wavefront_bytes for r in results),
         )
         outcomes = [
             PairOutcome(

@@ -9,6 +9,9 @@ a bounded LRU of final outcomes and answers repeats from memory.
 The key includes the backend name and the backtrace flag: scores agree
 across backends, but CIGAR availability and the hardware success flag do
 not, and a cache must never change *what* a request would have returned.
+The band width is part of the key for the same reason: a banded run can
+return a pessimistic score when the band is narrower than the optimal
+path's diagonal drift, so banded and exact outcomes are distinct series.
 """
 
 from __future__ import annotations
@@ -68,6 +71,7 @@ class AlignmentCache:
         text: str,
         penalties: AffinePenalties,
         backtrace: bool,
+        band_width: int | None = None,
     ) -> tuple:
         """Cache key: everything that determines an outcome."""
         return (
@@ -78,6 +82,7 @@ class AlignmentCache:
             penalties.gap_open,
             penalties.gap_extend,
             backtrace,
+            band_width,
         )
 
     def get(self, key: tuple) -> CachedValue | None:

@@ -89,6 +89,7 @@ __all__ = [
     "EngineResult",
     "BatchAlignmentEngine",
     "align_pairs",
+    "merge_batch_reports",
 ]
 
 
@@ -139,6 +140,21 @@ class EngineConfig:
         shared result ring.  ``False`` restores the fully pickled chunk
         protocol.  The serial path (``workers=1``) never uses shared
         memory — there is no boundary to cross.
+    band_width:
+        Adaptive wavefront band for long reads (``docs/long-reads.md``):
+        band-capable backends (``scalar``, ``batched``) trim every
+        wavefront to this many diagonals, re-centred each step on the
+        furthest-reaching cell, so peak wavefront memory is
+        O(band × score) instead of O(length × score).  Results are
+        bit-identical to exact WFA whenever the optimal path stays in
+        the band; a pair whose band dies out before the end
+        (``reached_end=False``) is transparently re-aligned exact and
+        counted in :attr:`BatchReport.band_fallbacks`.  A band narrower
+        than the alignment's diagonal drift can instead converge at a
+        pessimistic — never optimistic — score, so size the band from
+        the expected indel imbalance (cached under a band-specific
+        key).  ``None`` (default) disables banding; only backends
+        declaring ``supports_band`` accept it.
     """
 
     backend: str = "vectorized"
@@ -152,6 +168,7 @@ class EngineConfig:
     chunk_timeout: float | None = 300.0
     max_chunk_retries: int = 1
     shared_memory: bool = True
+    band_width: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in backend_names():
@@ -159,6 +176,19 @@ class EngineConfig:
                 f"unknown backend {self.backend!r}; "
                 f"available: {', '.join(backend_names())}"
             )
+        if self.band_width is not None:
+            if self.band_width < 1:
+                raise ValueError("band_width must be >= 1 (or None)")
+            if not get_backend(self.backend).supports_band:
+                raise ValueError(
+                    f"backend {self.backend!r} does not support band_width; "
+                    "band-capable backends: "
+                    + ", ".join(
+                        name
+                        for name in backend_names()
+                        if get_backend(name).supports_band
+                    )
+                )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.chunk_size < 1:
@@ -209,6 +239,15 @@ class BatchReport:
     rejected: int = 0
     #: Chunk resubmissions performed after timeouts / worker death.
     retries: int = 0
+    #: Pairs whose banded first pass died out before reaching the end
+    #: (``reached_end=False``) and were transparently re-aligned exact
+    #: (``EngineConfig.band_width``).  Always 0 when banding is off.
+    band_fallbacks: int = 0
+    #: Sum over aligned pairs of each pair's peak live wavefront bytes
+    #: (``BYTES_PER_CELL`` per stored cell) as reported by band-capable
+    #: backends — the capacity-planning number behind the banding PR.
+    #: 0 when the backend does not report it.
+    peak_wavefront_bytes: int = 0
     worker_stats: list[WorkerStats] = field(default_factory=list)
     #: Per-stage wall-time/call counters (:meth:`StageProfiler.as_dict`):
     #: engine stages (``resolve``/``dispatch``/``execute``/``ipc``/
@@ -273,6 +312,8 @@ class BatchReport:
             "errors": self.errors,
             "rejected": self.rejected,
             "retries": self.retries,
+            "band_fallbacks": self.band_fallbacks,
+            "peak_wavefront_bytes": self.peak_wavefront_bytes,
             "swg_cells": self.swg_cells,
             "elapsed_seconds": self.elapsed_seconds,
             "pairs_per_second": self.pairs_per_second,
@@ -300,8 +341,10 @@ class EngineResult:
         return [o.score for o in self.outcomes]
 
 
-#: What crosses the process boundary for one chunk.
-ChunkPayload = tuple[str, AffinePenalties, bool, bool, list[PairItem]]
+#: What crosses the process boundary for one chunk.  The band width sits
+#: *before* the items so degradation helpers can keep addressing the
+#: item list as ``payload[-1]`` on both protocols.
+ChunkPayload = tuple[str, AffinePenalties, bool, bool, "int | None", list[PairItem]]
 
 
 def _run_items_isolated(
@@ -343,12 +386,15 @@ def _run_chunk(payload: ChunkPayload) -> ChunkResult:
     the offending pair errors.  With ``strict`` the exception propagates
     to the caller instead.
     """
-    backend_name, penalties, backtrace, strict, items = payload
+    backend_name, penalties, backtrace, strict, band_width, items = payload
     start = time.perf_counter()
     backend = get_backend(backend_name)
+    # The kwarg is only passed when banding is on, so backends with the
+    # plain three-argument signature keep working unbanded.
+    band_kwargs = {} if band_width is None else {"band_width": band_width}
     try:
         outcomes, profile = backend.align_chunk_profiled(
-            items, penalties, backtrace
+            items, penalties, backtrace, **band_kwargs
         )
     except Exception:
         if strict:
@@ -365,8 +411,10 @@ def _run_chunk(payload: ChunkPayload) -> ChunkResult:
 ShmItem = tuple[int, SequenceDescriptor, SequenceDescriptor, int, int]
 
 #: The zero-copy chunk payload: backend, penalties, backtrace, strict,
-#: the result-ring segment name, and the descriptor items.
-ShmChunkPayload = tuple[str, AffinePenalties, bool, bool, str, list[ShmItem]]
+#: band width, the result-ring segment name, and the descriptor items.
+ShmChunkPayload = tuple[
+    str, AffinePenalties, bool, bool, "int | None", str, list[ShmItem]
+]
 
 
 def _run_chunk_shm(payload: ShmChunkPayload) -> ChunkResult:
@@ -380,16 +428,19 @@ def _run_chunk_shm(payload: ShmChunkPayload) -> ChunkResult:
     reserved window, a ring unlinked after a timeout-degrade) ride back
     on the pickled chunk result.
     """
-    backend_name, penalties, backtrace, strict, ring_name, shm_items = payload
+    backend_name, penalties, backtrace, strict, band_width, ring_name, shm_items = (
+        payload
+    )
     start = time.perf_counter()
     items: list[PairItem] = [
         (slot, read_sequence(a_desc), read_sequence(b_desc))
         for slot, a_desc, b_desc, _, _ in shm_items
     ]
     backend = get_backend(backend_name)
+    band_kwargs = {} if band_width is None else {"band_width": band_width}
     try:
         outcomes, profile = backend.align_chunk_profiled(
-            items, penalties, backtrace
+            items, penalties, backtrace, **band_kwargs
         )
     except Exception:
         if strict:
@@ -631,7 +682,12 @@ class BatchAlignmentEngine:
                     rejected += 1
                     continue
                 key = AlignmentCache.make_key(
-                    cfg.backend, pattern, text, cfg.penalties, cfg.backtrace
+                    cfg.backend,
+                    pattern,
+                    text,
+                    cfg.penalties,
+                    cfg.backtrace,
+                    cfg.band_width,
                 )
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -669,6 +725,7 @@ class BatchAlignmentEngine:
                             cfg.penalties,
                             cfg.backtrace,
                             cfg.strict,
+                            cfg.band_width,
                             chunk,
                         )
                         for chunk in chunks
@@ -764,6 +821,10 @@ class BatchAlignmentEngine:
         elapsed = time.perf_counter() - start
         assert all(o is not None for o in outcomes), "engine lost a pair"
         errors = sum(1 for o in outcomes if not o.ok)
+        profile_dict = prof.as_dict()
+        # Band-capable backends report these as zero-second counter
+        # stages riding the per-chunk profile (``StageProfiler.count``);
+        # surface them as first-class report fields.
         report = BatchReport(
             backend=cfg.backend,
             workers=cfg.workers,
@@ -781,8 +842,14 @@ class BatchAlignmentEngine:
                 # Served pairs only: engine-level rejects/errors did no work.
                 if o.ok and o.error_kind is None
             ),
+            band_fallbacks=int(
+                profile_dict.get("band_fallbacks", {}).get("calls", 0)
+            ),
+            peak_wavefront_bytes=int(
+                profile_dict.get("peak_wavefront_bytes", {}).get("calls", 0)
+            ),
             worker_stats=sorted(worker_stats.values(), key=lambda w: w.worker_id),
-            profile=prof.as_dict(),
+            profile=profile_dict,
         )
         # Publish through the observability layer: counters reconcile
         # field-for-field with the report, and the batch becomes one
@@ -870,6 +937,7 @@ class BatchAlignmentEngine:
                     cfg.penalties,
                     cfg.backtrace,
                     cfg.strict,
+                    cfg.band_width,
                     ring.name,
                     items,
                 )
@@ -955,11 +1023,11 @@ class BatchAlignmentEngine:
         Running the chunk in the engine process instead would risk the
         engine itself on exactly the input that already killed a worker.
         """
-        backend_name, penalties, backtrace, strict, items = payload
+        backend_name, penalties, backtrace, strict, band_width, items = payload
         start = time.perf_counter()
         outcomes = [
             _run_item_quarantined(
-                (backend_name, penalties, backtrace, strict, [item]),
+                (backend_name, penalties, backtrace, strict, band_width, [item]),
                 self.config.chunk_timeout,
             )
             for item in items
@@ -981,6 +1049,7 @@ def align_pairs(
     chunk_timeout: float | None = 300.0,
     max_chunk_retries: int = 1,
     shared_memory: bool = True,
+    band_width: int | None = None,
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`BatchAlignmentEngine`."""
     config = EngineConfig(
@@ -995,6 +1064,53 @@ def align_pairs(
         chunk_timeout=chunk_timeout,
         max_chunk_retries=max_chunk_retries,
         shared_memory=shared_memory,
+        band_width=band_width,
     )
     with BatchAlignmentEngine(config) as engine:
         return engine.align_batch(pairs)
+
+
+def merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
+    """Fold the per-chunk reports of a streamed run into one summary.
+
+    The CLI's streaming ingestion path (``--stream-chunk``) aligns one
+    bounded batch at a time through a single long-lived engine; this
+    combines their reports as if the stream had been one batch: counters
+    and profiles sum, worker busy-time merges per worker, and the derived
+    rates (pairs/s, GCUPS, utilisation) fall out of the summed fields.
+    ``elapsed_seconds`` is the sum of batch wall-times — the engine is
+    strictly serial across streamed batches, so there is no overlap to
+    correct for.  Raises :class:`ValueError` on an empty sequence.
+    """
+    if not reports:
+        raise ValueError("merge_batch_reports needs at least one report")
+    first = reports[0]
+    profile: dict = {}
+    workers: dict[int, WorkerStats] = {}
+    for rep in reports:
+        for stage, entry in rep.profile.items():
+            slot = profile.setdefault(stage, {"calls": 0, "seconds": 0.0})
+            slot["calls"] += entry.get("calls", 0)
+            slot["seconds"] += entry.get("seconds", 0.0)
+        for ws in rep.worker_stats:
+            merged = workers.setdefault(ws.worker_id, WorkerStats(ws.worker_id))
+            merged.chunks += ws.chunks
+            merged.pairs += ws.pairs
+            merged.busy_seconds += ws.busy_seconds
+    return BatchReport(
+        backend=first.backend,
+        workers=first.workers,
+        num_pairs=sum(r.num_pairs for r in reports),
+        pairs_aligned=sum(r.pairs_aligned for r in reports),
+        cache_hits=sum(r.cache_hits for r in reports),
+        coalesced=sum(r.coalesced for r in reports),
+        errors=sum(r.errors for r in reports),
+        rejected=sum(r.rejected for r in reports),
+        retries=sum(r.retries for r in reports),
+        band_fallbacks=sum(r.band_fallbacks for r in reports),
+        peak_wavefront_bytes=sum(r.peak_wavefront_bytes for r in reports),
+        elapsed_seconds=sum(r.elapsed_seconds for r in reports),
+        swg_cells=sum(r.swg_cells for r in reports),
+        worker_stats=sorted(workers.values(), key=lambda w: w.worker_id),
+        profile=profile,
+    )

@@ -51,6 +51,8 @@ def publish_batch_report(
         ("engine_errors_total", "Pairs with an engine error", report.errors),
         ("engine_rejected_total", "Pairs stopped at validation", report.rejected),
         ("engine_retries_total", "Chunk resubmissions", report.retries),
+        ("engine_band_fallbacks_total", "Banded pairs re-aligned exact", report.band_fallbacks),
+        ("engine_peak_wavefront_bytes_total", "Per-pair peak wavefront bytes, summed", report.peak_wavefront_bytes),
         ("engine_swg_cells_total", "SWG-equivalent DP cells served", report.swg_cells),
     ):
         reg.counter(counter, help_text).inc(value, labels)

@@ -30,6 +30,8 @@ METRIC_NAMES = frozenset({
     "engine_errors_total",
     "engine_rejected_total",
     "engine_retries_total",
+    "engine_band_fallbacks_total",
+    "engine_peak_wavefront_bytes_total",
     "engine_swg_cells_total",
     "engine_batch_seconds",
     "engine_workers",

@@ -9,7 +9,18 @@ from .datasets import (
 from .generator import ErrorMix, PairGenerator, SequencePair
 from .genome import ReadSampler, SampledRead, synthetic_genome, tiling_reads
 from .profile import ErrorProfile, estimate_profile, preflight, profile_cigar
-from .seqio import iter_seq_lines, read_seq_file, write_seq_file
+from .seqio import (
+    SEQUENCE_FORMATS,
+    iter_fasta_records,
+    iter_fastq_records,
+    iter_pair_chunks,
+    iter_seq_lines,
+    read_pairs_file,
+    read_seq_file,
+    sniff_format,
+    stream_pairs,
+    write_seq_file,
+)
 from .stats import InputSetStats, summarise_pairs
 
 __all__ = [
@@ -20,15 +31,22 @@ __all__ = [
     "PAPER_INPUT_SETS",
     "PairGenerator",
     "ReadSampler",
+    "SEQUENCE_FORMATS",
     "SampledRead",
     "SequencePair",
     "estimate_profile",
     "input_set_names",
+    "iter_fasta_records",
+    "iter_fastq_records",
+    "iter_pair_chunks",
     "iter_seq_lines",
     "make_input_set",
     "preflight",
     "profile_cigar",
+    "read_pairs_file",
     "read_seq_file",
+    "sniff_format",
+    "stream_pairs",
     "summarise_pairs",
     "synthetic_genome",
     "tiling_reads",

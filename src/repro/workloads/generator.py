@@ -149,6 +149,44 @@ class PairGenerator:
             raise ValueError("count must be >= 0")
         return [self.pair() for _ in range(count)]
 
+    # -- presets ----------------------------------------------------------
+
+    #: Long-read preset bounds (inclusive): ONT/PacBio read lengths.
+    LONG_READ_MIN_LENGTH = 10_000
+    LONG_READ_MAX_LENGTH = 100_000
+
+    @classmethod
+    def long_read(
+        cls,
+        length: int = 10_000,
+        error_rate: float = 0.02,
+        seed: int = 0,
+        max_text_length: int | None = None,
+    ) -> "PairGenerator":
+        """An ONT-like long-read generator (the banding PR's workload).
+
+        Nanopore-style error structure: indel-heavy (deletions over
+        insertions over mismatches) with clustered gap runs up to six
+        bases, on reads of 10–100 kbp.  ``length`` outside that range
+        raises — short reads should use the plain constructor or the
+        paper input sets, and anything past 100 kbp outgrows the
+        repository's workload envelope.
+        """
+        if not cls.LONG_READ_MIN_LENGTH <= length <= cls.LONG_READ_MAX_LENGTH:
+            raise ValueError(
+                "long_read length must be within "
+                f"[{cls.LONG_READ_MIN_LENGTH}, {cls.LONG_READ_MAX_LENGTH}] bp, "
+                f"got {length}"
+            )
+        return cls(
+            length=length,
+            error_rate=error_rate,
+            mix=ErrorMix(mismatch=1.0, insertion=1.2, deletion=1.8),
+            seed=seed,
+            max_text_length=max_text_length,
+            max_indel_run=6,
+        )
+
     # -- internals ----------------------------------------------------------
 
     def _mutate(self, pattern: str) -> tuple[str, int]:

@@ -1,6 +1,7 @@
-""".seq file I/O — the text format used by the reference WFA tools [14].
+"""Sequence-pair file I/O: ``.seq``, FASTA and FASTQ, streamed.
 
-Each alignment job is two consecutive lines::
+The native format is ``.seq``, used by the reference WFA tools [14] —
+each alignment job is two consecutive lines::
 
     >PATTERN
     <TEXT
@@ -8,6 +9,16 @@ Each alignment job is two consecutive lines::
 (the ``>`` line is the query/pattern, the ``<`` line the text/reference).
 Blank lines are ignored.  This keeps our synthetic input sets and any
 externally produced ones interchangeable with the WFA ecosystem's tooling.
+
+Real long-read data arrives as FASTA or FASTQ instead, and a 50 kbp read
+set does not want to be slurped whole: :func:`stream_pairs` yields
+:class:`SequencePair` objects lazily from any of the three formats, with
+:func:`sniff_format` telling them apart from the first bytes (``@`` —
+FASTQ; ``>`` followed by a ``<`` line — ``.seq``; ``>`` otherwise —
+FASTA).  In FASTA/FASTQ, **consecutive records pair up**: record ``2i``
+is pair *i*'s pattern, record ``2i+1`` its text, and an odd record count
+is an error.  :func:`iter_pair_chunks` re-chunks any pair iterator for
+bounded-memory batch submission (the CLI's ``--stream-chunk``).
 """
 
 from __future__ import annotations
@@ -17,7 +28,22 @@ from typing import Iterable, Iterator
 
 from .generator import SequencePair
 
-__all__ = ["read_seq_file", "write_seq_file", "iter_seq_lines"]
+__all__ = [
+    "read_seq_file",
+    "write_seq_file",
+    "iter_seq_lines",
+    "SEQUENCE_FORMATS",
+    "sniff_format",
+    "iter_fasta_records",
+    "iter_fastq_records",
+    "stream_pairs",
+    "read_pairs_file",
+    "iter_pair_chunks",
+]
+
+#: The input formats :func:`stream_pairs` understands (and
+#: :func:`sniff_format` can detect).
+SEQUENCE_FORMATS = ("seq", "fasta", "fastq")
 
 
 def iter_seq_lines(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
@@ -63,3 +89,185 @@ def write_seq_file(path: str | Path, pairs: Iterable[SequencePair]) -> int:
             fh.write(f">{pair.pattern}\n<{pair.text}\n")
             count += 1
     return count
+
+
+# -- FASTA / FASTQ streaming ------------------------------------------------
+
+
+def sniff_format(path: str | Path) -> str:
+    """Detect a sequence file's format from its first non-blank lines.
+
+    ``@`` opens a FASTQ record; ``>`` opens either a ``.seq`` pattern
+    line (the next non-blank line then starts with ``<``) or a FASTA
+    header (anything else).  An empty file reads as ``.seq`` — zero
+    pairs, whatever the intent.  Raises :class:`ValueError` when the
+    first line fits no format.
+    """
+    first: str | None = None
+    with open(path, "r", encoding="ascii") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if first is None:
+                first = line
+                continue
+            if first.startswith(">"):
+                return "seq" if line.startswith("<") else "fasta"
+            break
+    if first is None:
+        return "seq"
+    if first.startswith("@"):
+        return "fastq"
+    if first.startswith(">"):
+        # A lone ">" line: an unpaired .seq pattern and a sequence-less
+        # FASTA record are both malformed; .seq gives the better error.
+        return "seq"
+    raise ValueError(
+        f"{path}: cannot detect sequence format (first line {first[:20]!r} "
+        "opens neither '.seq'/FASTA ('>') nor FASTQ ('@'))"
+    )
+
+
+def iter_fasta_records(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield ``(name, sequence)`` from FASTA lines, lazily.
+
+    Multi-line sequences are concatenated; blank lines are ignored.
+    """
+    name: str | None = None
+    chunks: list[str] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield name, "".join(chunks)
+            name = line[1:].strip()
+            chunks = []
+        elif name is None:
+            raise ValueError(
+                f"line {lineno}: sequence data before the first '>' header"
+            )
+        else:
+            chunks.append(line)
+    if name is not None:
+        yield name, "".join(chunks)
+
+
+def iter_fastq_records(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield ``(name, sequence)`` from FASTQ lines, lazily.
+
+    Strict four-line records (``@name`` / sequence / ``+`` / quality,
+    with matching sequence and quality lengths); blank lines between
+    records are tolerated, the quality string is discarded.
+    """
+    it = iter(lines)
+    record = 0
+    while True:
+        header = next(it, None)
+        if header is None:
+            return
+        head = header.strip()
+        if not head:
+            continue
+        record += 1
+        if not head.startswith("@"):
+            raise ValueError(
+                f"FASTQ record {record}: header {head[:20]!r} must start with '@'"
+            )
+        try:
+            seq = next(it).strip()
+            plus = next(it).strip()
+            qual = next(it).strip()
+        except StopIteration:
+            raise ValueError(
+                f"FASTQ record {record} ({head[:20]!r}) is truncated"
+            ) from None
+        if not plus.startswith("+"):
+            raise ValueError(
+                f"FASTQ record {record}: separator {plus[:20]!r} must start with '+'"
+            )
+        if len(qual) != len(seq):
+            raise ValueError(
+                f"FASTQ record {record}: quality length {len(qual)} != "
+                f"sequence length {len(seq)}"
+            )
+        yield head[1:].strip(), seq
+
+
+def _pair_records(
+    records: Iterator[tuple[str, str]], source: str | Path
+) -> Iterator[SequencePair]:
+    """Pair consecutive FASTA/FASTQ records into alignment jobs."""
+    pending: tuple[str, str] | None = None
+    slot = 0
+    for name, seq in records:
+        if pending is None:
+            pending = (name, seq)
+            continue
+        yield SequencePair(pattern=pending[1], text=seq, pair_id=slot)
+        slot += 1
+        pending = None
+    if pending is not None:
+        raise ValueError(
+            f"{source}: odd number of records — pattern record "
+            f"{pending[0]!r} has no text mate"
+        )
+
+
+def stream_pairs(
+    path: str | Path, format: str | None = None
+) -> Iterator[SequencePair]:
+    """Yield :class:`SequencePair` objects from a file, lazily.
+
+    ``format`` is one of :data:`SEQUENCE_FORMATS`, or ``None`` to
+    autodetect with :func:`sniff_format`.  Pairs are numbered from 0 in
+    file order.  The file is held open only while the iterator is
+    consumed — a 50 kbp-read FASTQ never needs to fit in memory at once.
+    """
+    fmt = format if format is not None else sniff_format(path)
+    if fmt not in SEQUENCE_FORMATS:
+        raise ValueError(
+            f"unknown sequence format {fmt!r}; "
+            f"expected one of {', '.join(SEQUENCE_FORMATS)}"
+        )
+    with open(path, "r", encoding="ascii") as fh:
+        if fmt == "seq":
+            for slot, (pat, txt) in enumerate(iter_seq_lines(fh)):
+                yield SequencePair(pattern=pat, text=txt, pair_id=slot)
+        else:
+            records = (
+                iter_fasta_records(fh)
+                if fmt == "fasta"
+                else iter_fastq_records(fh)
+            )
+            yield from _pair_records(records, path)
+
+
+def read_pairs_file(
+    path: str | Path, format: str | None = None
+) -> list[SequencePair]:
+    """Read a whole ``.seq``/FASTA/FASTQ file (autodetected) into a list."""
+    return list(stream_pairs(path, format))
+
+
+def iter_pair_chunks(
+    pairs: Iterable[SequencePair], chunk_size: int
+) -> Iterator[list[SequencePair]]:
+    """Re-chunk a pair stream into lists of at most ``chunk_size``.
+
+    The bounded-memory submission loop for streamed ingestion: each
+    chunk is one engine batch, so peak resident pairs stay at
+    ``chunk_size`` however long the input file is.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunk: list[SequencePair] = []
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -2,7 +2,9 @@
 
 import random
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.align import swg_align
 from repro.align.banded import banded_swg_score
@@ -88,3 +90,60 @@ class TestHeuristicProperties:
             res = banded_swg_score(a, b, band_width=64)
             if res.reached_end:
                 assert res.score >= swg_align(a, b).score
+
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+@given(a=dna, b=dna)
+@settings(max_examples=150, deadline=None)
+def test_full_cover_band_equals_exact_swg(a, b):
+    """Property: a band covering every column cannot lose the optimum.
+
+    With ``band_width > len(b)`` every row's window is the whole row,
+    so the optimal path provably stays in band — the heuristic must
+    reproduce the exact SWG score bit for bit, for *any* input.
+    """
+    res = banded_swg_score(a, b, band_width=len(b) + 1)
+    assert res.reached_end
+    assert res.score == swg_align(a, b).score
+
+
+@given(a=dna, b=dna, bw=st.integers(min_value=1, max_value=48))
+@settings(max_examples=150, deadline=None)
+def test_banded_score_is_admissible_upper_bound(a, b, bw):
+    """Property: any banded score is achievable, so never below optimum."""
+    res = banded_swg_score(a, b, band_width=bw)
+    if res.reached_end:
+        assert res.score >= swg_align(a, b).score
+
+
+class TestReachedEndRegression:
+    """``reached_end=False`` semantics, pinned (the band-fallback signal).
+
+    The engine's band-capable backends key their exact-retry on this
+    field; its shape must not drift.
+    """
+
+    def test_end_cell_outside_band_is_flagged(self):
+        # n = 10 rows against m = 200 columns with a narrow band: the
+        # window tracks the best cell near the diagonal and the final
+        # column m is out of reach on the last row.
+        a = "ACGTACGTAC"
+        b = "ACGTACGTAC" * 20
+        res = banded_swg_score(a, b, band_width=4)
+        assert not res.reached_end
+
+    def test_failed_run_reports_sentinel_score(self):
+        a = "A" * 10
+        b = "A" * 200
+        res = banded_swg_score(a, b, band_width=4)
+        assert not res.reached_end
+        # The sentinel is the +INF cost, never a plausible penalty.
+        assert res.score >= 2**31
+        # Work was still bounded by the band, not the full matrix.
+        assert res.cells_computed <= (len(a) + 1) * 5
+
+    def test_reached_end_true_has_real_score(self):
+        res = banded_swg_score("ACGT" * 10, "ACGT" * 10, band_width=8)
+        assert res.reached_end and 0 <= res.score < 2**31

@@ -1,0 +1,176 @@
+"""Differential tests for adaptive wavefront banding (scalar + batched).
+
+The banding contract, verified three ways:
+
+* **Scalar ≡ batched, always**: for every band width — and whatever the
+  outcome, exact, pessimistic, or a dead band — the banded
+  :class:`BatchedWfaAligner` must reproduce the banded
+  :class:`WfaAligner` bit for bit, down to the work counters.  Banding
+  is one semantics with two implementations, not two heuristics.
+* **Exact when the band holds**: a band covering every diagonal can
+  never prune, so banded results must be bit-identical to the unbanded
+  exact aligners; and since banding only removes wavefront cells, a
+  banded score can never beat the exact one (pessimistic, never
+  optimistic).
+* **Memory-frugal**: the whole point — ``peak_wavefront_bytes`` under a
+  narrow band must undercut the exact run's on long indel-heavy pairs.
+"""
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.align import (
+    AffinePenalties,
+    BatchedWfaAligner,
+    WfaAligner,
+    wfa_align,
+)
+from repro.align.wfa import BYTES_PER_CELL
+from tests.util import assert_valid_cigar, random_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+#: Edge cases plus a spread of lengths/divergences, shared by the
+#: differential classes below.
+def _pair_pool(seed: int) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    pairs = [
+        ("", ""),
+        ("A", ""),
+        ("", "ACGT"),
+        ("ACGT", "ACGT"),
+        ("AAAA", "TTTT"),
+        ("ACGT" * 20, "ACGT" * 20 + "G" * 40),  # heavy one-sided drift
+    ]
+    for length in (3, 17, 80, 200):
+        for rate in (0.0, 0.05, 0.3):
+            pairs.append(random_pair(rng, length, rate))
+    return pairs
+
+
+class TestScalarBandedSemantics:
+    def test_band_width_validated(self):
+        with pytest.raises(ValueError):
+            WfaAligner(PEN, band_width=0)
+
+    def test_full_band_is_bit_identical_to_exact(self):
+        pairs = _pair_pool(11)
+        full = max(len(a) + len(b) for a, b in pairs) + 1
+        exact = WfaAligner(PEN, keep_backtrace=True)
+        banded = WfaAligner(PEN, keep_backtrace=True, band_width=full)
+        for a, b in pairs:
+            er, br = exact.align(a, b), banded.align(a, b)
+            assert br.reached_end
+            assert br.score == er.score
+            assert br.cigar.compact() == er.cigar.compact()
+            assert br.work.band_pruned_cells == 0
+
+    def test_banded_score_never_beats_exact(self):
+        for a, b in _pair_pool(12):
+            exact = wfa_align(a, b, PEN).score
+            for bw in (1, 2, 5, 16):
+                res = WfaAligner(PEN, band_width=bw).align(a, b)
+                if res.reached_end:
+                    assert res.score >= exact
+                else:
+                    assert res.score == -1 and res.cigar is None
+
+    def test_banded_cigar_rescored_matches_banded_score(self):
+        """A banded CIGAR is a *valid* alignment achieving the score."""
+        rng = random.Random(13)
+        aligner = WfaAligner(PEN, keep_backtrace=True, band_width=6)
+        for _ in range(15):
+            a, b = random_pair(rng, 90, 0.2)
+            res = aligner.align(a, b)
+            if res.reached_end:
+                assert_valid_cigar(res.cigar, a, b, PEN, res.score)
+
+    def test_narrow_band_cuts_peak_memory(self):
+        rng = random.Random(14)
+        a, b = random_pair(rng, 2000, 0.1)
+        exact = WfaAligner(PEN).align(a, b)
+        banded = WfaAligner(PEN, band_width=16).align(a, b)
+        assert banded.reached_end
+        assert banded.work.band_pruned_cells > 0
+        assert (
+            banded.work.peak_wavefront_bytes
+            < exact.work.peak_wavefront_bytes / 5
+        )
+
+    def test_peak_bytes_counts_cells(self):
+        """The trivial case pins the memory model: 8 bytes per cell."""
+        res = WfaAligner(PEN).align("", "")
+        assert res.work.peak_wavefront_bytes == BYTES_PER_CELL
+
+
+class TestReachedEnd:
+    """``WfaResult.reached_end`` — the band-fallback signal.
+
+    The greedy re-centre always keeps the furthest-reaching M cell, and
+    that cell always has an onward path to the corner, so a banded WFA
+    run converges for every input we can construct — the
+    ``reached_end=False`` branches (band death, banded hard-cap breach)
+    are defensive invariants.  These tests pin the field's contract:
+    every converged result reports ``True``, the failed shape is
+    ``score=-1, cigar=None``, and the two implementations agree even
+    under adversarial mismatch-heavy penalties where the banded path
+    strays furthest from the optimum.
+    """
+
+    def test_every_converged_result_reports_reached(self):
+        for a, b in _pair_pool(15):
+            for bw in (None, 1, 8):
+                res = WfaAligner(PEN, band_width=bw).align(a, b)
+                assert res.reached_end
+                assert res.score >= 0
+
+    def test_adversarial_penalties_still_bit_identical(self):
+        """x > 2e makes the greedy band maximally pessimistic."""
+        harsh = AffinePenalties(10, 1, 1)
+        rng = random.Random(16)
+        pairs = [("A" * 50, "T" * 50)] + [
+            random_pair(rng, 60, 0.5) for _ in range(20)
+        ]
+        for bw in (1, 3):
+            scalar = [
+                WfaAligner(harsh, band_width=bw).align(a, b) for a, b in pairs
+            ]
+            batched = BatchedWfaAligner(harsh, band_width=bw).align_batch(pairs)
+            assert [r.score for r in batched] == [r.score for r in scalar]
+            assert [r.reached_end for r in batched] == [
+                r.reached_end for r in scalar
+            ]
+
+    def test_failed_result_shape(self):
+        """The shape backends key their exact-retry on."""
+        from repro.align.wfa import WfaResult, WfaWorkCounters
+
+        res = WfaResult(
+            score=-1, cigar=None, work=WfaWorkCounters(), reached_end=False
+        )
+        assert not res.reached_end and res.score == -1 and res.cigar is None
+
+
+class TestBatchedMatchesScalarBanded:
+    @pytest.mark.parametrize("backtrace", [False, True])
+    @pytest.mark.parametrize("bw", [1, 2, 3, 5, 16, 100_000])
+    def test_bit_identical_across_band_widths(self, bw, backtrace):
+        pairs = _pair_pool(17)
+        scalar = WfaAligner(PEN, keep_backtrace=backtrace, band_width=bw)
+        sres = [scalar.align(a, b) for a, b in pairs]
+        bres = BatchedWfaAligner(
+            PEN, keep_backtrace=backtrace, band_width=bw
+        ).align_batch(pairs)
+        for (a, b), sr, br in zip(pairs, sres, bres):
+            assert br.score == sr.score
+            assert br.reached_end == sr.reached_end
+            if backtrace and sr.cigar is not None:
+                assert br.cigar.compact() == sr.cigar.compact()
+            # Work counters — band prunes, peak bytes, steps — included.
+            assert asdict(br.work) == asdict(sr.work)
+
+    def test_band_width_validated(self):
+        with pytest.raises(ValueError):
+            BatchedWfaAligner(PEN, band_width=0)

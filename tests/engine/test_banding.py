@@ -1,0 +1,238 @@
+"""Engine-level tests for adaptive wavefront banding.
+
+The engine contract under ``EngineConfig.band_width``:
+
+* only band-capable backends accept it (config validation),
+* results are bit-identical to exact when the band covers the optimum,
+* a banded run that reports ``reached_end=False`` is transparently
+  re-aligned exact and counted (``BatchReport.band_fallbacks`` and the
+  ``engine_band_fallbacks_total`` metric),
+* banding composes with the per-pair error channels, the zero-copy
+  parallel path, and the result cache (band-specific keys).
+"""
+
+import random
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.align import BatchedWfaAligner, DEFAULT_PENALTIES, WfaAligner
+from repro.engine import (
+    AlignmentCache,
+    BatchAlignmentEngine,
+    EngineConfig,
+    align_pairs,
+)
+from repro.engine import backends as backends_mod
+from repro.obs import MetricsRegistry, set_registry
+from tests.util import random_pair
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Scope published metrics to each test."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+def _workload(seed: int, count: int = 24) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    return [random_pair(rng, rng.randint(0, 200), 0.1) for _ in range(count)]
+
+
+class TestConfigValidation:
+    def test_band_needs_capable_backend(self):
+        with pytest.raises(ValueError, match="does not support band_width"):
+            EngineConfig(backend="vectorized", band_width=8)
+        with pytest.raises(ValueError, match="does not support band_width"):
+            EngineConfig(backend="swg", band_width=8)
+
+    def test_band_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="band_width"):
+            EngineConfig(backend="batched", band_width=0)
+
+    def test_capable_backends_accept_band(self):
+        for backend in ("scalar", "batched"):
+            cfg = EngineConfig(backend=backend, band_width=8)
+            assert cfg.band_width == 8
+
+    def test_supports_band_flags(self):
+        assert backends_mod.get_backend("scalar").supports_band
+        assert backends_mod.get_backend("batched").supports_band
+        assert not backends_mod.get_backend("vectorized").supports_band
+
+
+class TestBandedOutcomes:
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    def test_wide_band_bit_identical_to_exact(self, backend):
+        pairs = _workload(1)
+        exact = align_pairs(pairs, backend=backend, backtrace=True, cache_size=0)
+        banded = align_pairs(
+            pairs,
+            backend=backend,
+            backtrace=True,
+            cache_size=0,
+            band_width=1000,
+        )
+        assert banded.scores == exact.scores
+        assert [o.cigar for o in banded.outcomes] == [
+            o.cigar for o in exact.outcomes
+        ]
+        assert banded.report.band_fallbacks == 0
+
+    @pytest.mark.parametrize("backend", ["scalar", "batched"])
+    def test_narrow_band_is_pessimistic_never_optimistic(self, backend):
+        pairs = _workload(2)
+        exact = align_pairs(pairs, backend=backend, cache_size=0)
+        banded = align_pairs(
+            pairs, backend=backend, cache_size=0, band_width=2
+        )
+        assert all(b >= e for b, e in zip(banded.scores, exact.scores))
+
+    def test_scalar_and_batched_agree_banded(self):
+        pairs = _workload(3)
+        for bw in (2, 16):
+            s = align_pairs(
+                pairs, backend="scalar", backtrace=True, cache_size=0,
+                band_width=bw,
+            )
+            b = align_pairs(
+                pairs, backend="batched", backtrace=True, cache_size=0,
+                band_width=bw,
+            )
+            assert s.scores == b.scores
+            assert [o.cigar for o in s.outcomes] == [
+                o.cigar for o in b.outcomes
+            ]
+
+    def test_peak_wavefront_bytes_reported(self):
+        pairs = _workload(4, count=8)
+        res = align_pairs(
+            pairs, backend="batched", cache_size=0, band_width=8
+        )
+        assert res.report.peak_wavefront_bytes > 0
+        assert (
+            res.report.as_dict()["peak_wavefront_bytes"]
+            == res.report.peak_wavefront_bytes
+        )
+        # The batched backend reports the counter unbanded too — the
+        # baseline rides the same channel the banded runs use.
+        exact = align_pairs(pairs, backend="batched", cache_size=0)
+        assert exact.report.peak_wavefront_bytes > res.report.peak_wavefront_bytes
+
+
+class _FailBandedBatched(BatchedWfaAligner):
+    """Banded runs all come back dead — forces the fallback path."""
+
+    def align_batch(self, pairs):
+        results = super().align_batch(pairs)
+        if self.band_width is not None:
+            return [
+                dc_replace(r, score=-1, cigar=None, reached_end=False)
+                for r in results
+            ]
+        return results
+
+
+class _FailBandedScalar(WfaAligner):
+    def align(self, a, b):
+        result = super().align(a, b)
+        if self.band_width is not None:
+            return dc_replace(
+                result, score=-1, cigar=None, reached_end=False
+            )
+        return result
+
+
+class TestBandFallback:
+    """Every pair's band dies -> every pair is re-aligned exact."""
+
+    @pytest.mark.parametrize(
+        "backend,patch_name,fail_cls",
+        [
+            ("batched", "BatchedWfaAligner", _FailBandedBatched),
+            ("scalar", "WfaAligner", _FailBandedScalar),
+        ],
+    )
+    def test_dead_band_degrades_to_exact(
+        self, monkeypatch, _fresh_registry, backend, patch_name, fail_cls
+    ):
+        monkeypatch.setattr(backends_mod, patch_name, fail_cls)
+        if backend == "scalar":
+            # The scalar backend's unbanded path goes through aligner_cls.
+            monkeypatch.setattr(
+                backends_mod.ScalarWfaBackend, "aligner_cls", fail_cls
+            )
+        pairs = _workload(5, count=10)
+        exact = align_pairs(pairs, backend=backend, backtrace=True, cache_size=0)
+        banded = align_pairs(
+            pairs, backend=backend, backtrace=True, cache_size=0, band_width=32
+        )
+        assert banded.scores == exact.scores
+        assert [o.cigar for o in banded.outcomes] == [
+            o.cigar for o in exact.outcomes
+        ]
+        assert banded.report.band_fallbacks == len(pairs)
+        assert banded.report.as_dict()["band_fallbacks"] == len(pairs)
+        counter = _fresh_registry.counter("engine_band_fallbacks_total")
+        assert counter.value({"backend": backend}) == len(pairs)
+
+    def test_no_fallbacks_without_banding(self, _fresh_registry):
+        pairs = _workload(6, count=6)
+        res = align_pairs(pairs, backend="batched", cache_size=0)
+        assert res.report.band_fallbacks == 0
+
+
+class TestBandComposition:
+    def test_error_channel_composes(self):
+        """A malformed pair errors per-pair; banded neighbours still align."""
+        pairs = [("ACGT", "ACGT"), ("AXGT", "ACGT"), ("GGG", "GGC")]
+        res = align_pairs(
+            pairs, backend="batched", cache_size=0, band_width=8
+        )
+        assert not res.outcomes[1].ok
+        assert res.outcomes[0].ok and res.outcomes[2].ok
+        assert res.report.errors == 1 and res.report.rejected == 1
+
+    def test_parallel_shm_dispatch_composes(self):
+        pairs = _workload(7, count=30)
+        serial = align_pairs(
+            pairs, backend="batched", backtrace=True, cache_size=0,
+            band_width=64,
+        )
+        with BatchAlignmentEngine(
+            EngineConfig(
+                backend="batched",
+                workers=2,
+                chunk_size=8,
+                backtrace=True,
+                cache_size=0,
+                shared_memory=True,
+                band_width=64,
+            )
+        ) as engine:
+            parallel = engine.align_batch(pairs)
+        assert parallel.scores == serial.scores
+        assert [o.cigar for o in parallel.outcomes] == [
+            o.cigar for o in serial.outcomes
+        ]
+
+    def test_cache_key_is_band_specific(self):
+        k_exact = AlignmentCache.make_key(
+            "batched", "ACGT", "ACGT", DEFAULT_PENALTIES, False
+        )
+        k_banded = AlignmentCache.make_key(
+            "batched", "ACGT", "ACGT", DEFAULT_PENALTIES, False, 8
+        )
+        assert k_exact != k_banded
+
+    def test_banded_cache_hits_are_stable(self):
+        pairs = _workload(8, count=8)
+        cfg = EngineConfig(backend="batched", band_width=4, cache_size=64)
+        with BatchAlignmentEngine(cfg) as engine:
+            first = engine.align_batch(pairs)
+            second = engine.align_batch(pairs)
+        assert second.report.cache_hits == len(pairs)
+        assert second.scores == first.scores

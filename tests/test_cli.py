@@ -337,3 +337,101 @@ class TestBatchErrorChannel:
         assert main(["batch", str(seq), "--timeout", "0",
                      "--retries", "0"]) == 0
         assert "errors=0 rejected=0 retries=0" in capsys.readouterr().out
+
+
+class TestBatchBandingAndStreaming:
+    @pytest.fixture()
+    def seq_file(self, tmp_path):
+        out = tmp_path / "band.seq"
+        main(["generate", str(out), "--set", "100-10%", "-n", "6"])
+        return str(out)
+
+    @staticmethod
+    def _rows(capsys):
+        return [
+            l.split("\t") for l in capsys.readouterr().out.splitlines()
+            if l and l[0].isdigit()
+        ]
+
+    def test_wide_band_matches_exact_scores(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--backend", "batched"]) == 0
+        exact = self._rows(capsys)
+        assert main([
+            "batch", seq_file, "--backend", "batched", "--band", "1000",
+        ]) == 0
+        assert self._rows(capsys) == exact
+
+    def test_band_rejected_for_incapable_backend(self, seq_file, capsys):
+        assert main([
+            "batch", seq_file, "--backend", "vectorized", "--band", "8",
+        ]) == 2
+        assert "band" in capsys.readouterr().err
+
+    def test_long_read_requires_generate(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--long-read"]) == 2
+        assert "--generate" in capsys.readouterr().err
+
+    def test_long_read_length_validated(self, capsys):
+        assert main([
+            "batch", "--generate", "100", "-n", "1", "--long-read",
+        ]) == 2
+        assert "invalid workload" in capsys.readouterr().err
+
+    def test_long_read_banded_run(self, capsys):
+        assert main([
+            "batch", "--generate", "10000", "-n", "1", "--long-read",
+            "--seed", "5", "--backend", "batched", "--band", "128",
+            "--format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["summary"]["num_pairs"] == 1
+        assert doc["results"][0]["success"]
+
+    def test_stream_chunk_matches_single_batch(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--backend", "batched"]) == 0
+        single = self._rows(capsys)
+        assert main([
+            "batch", seq_file, "--backend", "batched", "--stream-chunk", "2",
+        ]) == 0
+        assert self._rows(capsys) == single
+
+    def test_stream_chunk_json_summary_merged(self, seq_file, capsys):
+        assert main([
+            "batch", seq_file, "--stream-chunk", "4", "--format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        assert doc["summary"]["num_pairs"] == 6
+        assert len(doc["results"]) == 6
+
+    def test_stream_chunk_requires_file_input(self, capsys):
+        assert main([
+            "batch", "--generate", "64", "-n", "2", "--stream-chunk", "2",
+        ]) == 2
+        assert "file input" in capsys.readouterr().err
+
+    def test_stream_chunk_rejects_metrics(self, seq_file, tmp_path, capsys):
+        assert main([
+            "batch", seq_file, "--stream-chunk", "2",
+            "--metrics", str(tmp_path / "m.json"),
+        ]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_stream_chunk_must_be_positive(self, seq_file, capsys):
+        assert main(["batch", seq_file, "--stream-chunk", "0"]) == 2
+
+    def test_fasta_input_autodetected(self, seq_file, tmp_path, capsys):
+        assert main(["batch", seq_file]) == 0
+        expected = self._rows(capsys)
+        pairs = read_seq_file(seq_file)
+        fasta = tmp_path / "band.fasta"
+        fasta.write_text(
+            "".join(
+                f">p{p.pair_id}/pat\n{p.pattern}\n>p{p.pair_id}/txt\n{p.text}\n"
+                for p in pairs
+            ),
+            encoding="ascii",
+        )
+        assert main(["batch", str(fasta)]) == 0
+        assert self._rows(capsys) == expected

@@ -139,3 +139,39 @@ def test_property_alignment_score_bounded_by_errors(length, rate, seed):
 
 def _pt(pair: SequencePair) -> tuple[str, str]:
     return pair.pattern, pair.text
+
+
+class TestLongReadPreset:
+    def test_preset_parameters(self):
+        gen = PairGenerator.long_read(length=12_000, seed=3)
+        assert gen.length == 12_000
+        assert gen.error_rate == pytest.approx(0.02)
+        assert gen.max_indel_run == 6
+        # ONT-like mix: indel-heavy, deletions heaviest.
+        assert gen.mix.deletion > gen.mix.insertion > gen.mix.mismatch
+
+    def test_length_bounds_enforced(self):
+        with pytest.raises(ValueError, match="long_read length"):
+            PairGenerator.long_read(length=9_999)
+        with pytest.raises(ValueError, match="long_read length"):
+            PairGenerator.long_read(length=100_001)
+        for edge in (
+            PairGenerator.LONG_READ_MIN_LENGTH,
+            PairGenerator.LONG_READ_MAX_LENGTH,
+        ):
+            assert PairGenerator.long_read(length=edge).length == edge
+
+    def test_deterministic_per_seed(self):
+        a = PairGenerator.long_read(seed=7).batch(2)
+        b = PairGenerator.long_read(seed=7).batch(2)
+        assert [_pt(p) for p in a] == [_pt(p) for p in b]
+        c = PairGenerator.long_read(seed=8).batch(2)
+        assert [_pt(p) for p in a] != [_pt(p) for p in c]
+
+    def test_reads_are_long_and_indel_heavy(self):
+        pair = PairGenerator.long_read(length=10_000, seed=1).pair()
+        assert len(pair.pattern) == 10_000
+        # An indel-heavy 2% profile must actually change the text length
+        # (a mismatch-only profile never would).
+        assert len(pair.text) != len(pair.pattern)
+        assert pair.errors_injected > 0

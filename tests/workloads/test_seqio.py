@@ -59,3 +59,171 @@ class TestRoundTrip:
         write_seq_file(path, [SequencePair(pattern="", text="")])
         back = read_seq_file(path)
         assert back[0].pattern == "" and back[0].text == ""
+
+
+# -- streaming FASTA/FASTQ ingestion ----------------------------------------
+
+from repro.workloads import (  # noqa: E402 — streaming additions under test
+    SEQUENCE_FORMATS,
+    iter_fasta_records,
+    iter_fastq_records,
+    iter_pair_chunks,
+    read_pairs_file,
+    sniff_format,
+    stream_pairs,
+)
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="ascii")
+    return path
+
+
+class TestSniffFormat:
+    def test_seq_detected(self, tmp_path):
+        assert sniff_format(_write(tmp_path, "a.txt", ">ACGT\n<ACGG\n")) == "seq"
+
+    def test_fasta_detected(self, tmp_path):
+        path = _write(tmp_path, "a.txt", ">read1\nACGT\n>read2\nACGG\n")
+        assert sniff_format(path) == "fasta"
+
+    def test_fastq_detected(self, tmp_path):
+        path = _write(tmp_path, "a.txt", "@read1\nACGT\n+\nIIII\n")
+        assert sniff_format(path) == "fastq"
+
+    def test_empty_file_reads_as_seq(self, tmp_path):
+        path = _write(tmp_path, "a.txt", "\n\n")
+        assert sniff_format(path) == "seq"
+        assert read_pairs_file(path) == []
+
+    def test_unknown_first_line_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot detect"):
+            sniff_format(_write(tmp_path, "a.txt", "ACGT\n"))
+
+    def test_formats_constant(self):
+        assert set(SEQUENCE_FORMATS) == {"seq", "fasta", "fastq"}
+
+
+class TestFastaRecords:
+    def test_multiline_sequences_concatenate(self):
+        lines = [">r1", "ACGT", "ACGT", ">r2", "GG"]
+        assert list(iter_fasta_records(lines)) == [
+            ("r1", "ACGTACGT"),
+            ("r2", "GG"),
+        ]
+
+    def test_blank_lines_ignored(self):
+        lines = [">r1", "", "AC", "", ">r2", "GT"]
+        assert list(iter_fasta_records(lines)) == [("r1", "AC"), ("r2", "GT")]
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before the first"):
+            list(iter_fasta_records(["ACGT", ">r1", "AC"]))
+
+
+class TestFastqRecords:
+    def test_basic(self):
+        lines = ["@r1", "ACGT", "+", "IIII", "@r2", "GG", "+r2", "II"]
+        assert list(iter_fastq_records(lines)) == [("r1", "ACGT"), ("r2", "GG")]
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            list(iter_fastq_records(["@r1", "ACGT", "+"]))
+
+    def test_bad_separator_rejected(self):
+        with pytest.raises(ValueError, match="separator"):
+            list(iter_fastq_records(["@r1", "ACGT", "-", "IIII"]))
+
+    def test_quality_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="quality length"):
+            list(iter_fastq_records(["@r1", "ACGT", "+", "II"]))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="must start with '@'"):
+            list(iter_fastq_records([">r1", "ACGT", "+", "IIII"]))
+
+
+class TestStreamPairs:
+    def _pairs(self):
+        gen = PairGenerator(length=40, error_rate=0.1, seed=9)
+        return gen.batch(4)
+
+    def test_seq_roundtrip(self, tmp_path):
+        pairs = self._pairs()
+        path = tmp_path / "in.seq"
+        write_seq_file(path, pairs)
+        streamed = list(stream_pairs(path))
+        assert [(p.pattern, p.text) for p in streamed] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+        assert [p.pair_id for p in streamed] == [0, 1, 2, 3]
+
+    def test_fasta_consecutive_records_pair_up(self, tmp_path):
+        pairs = self._pairs()
+        body = "".join(
+            f">p{p.pair_id}/pat\n{p.pattern}\n>p{p.pair_id}/txt\n{p.text}\n"
+            for p in pairs
+        )
+        streamed = list(stream_pairs(_write(tmp_path, "in.fasta", body)))
+        assert [(p.pattern, p.text) for p in streamed] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+
+    def test_fastq_consecutive_records_pair_up(self, tmp_path):
+        pairs = self._pairs()
+        body = "".join(
+            f"@p{p.pair_id}/pat\n{p.pattern}\n+\n{'I' * len(p.pattern)}\n"
+            f"@p{p.pair_id}/txt\n{p.text}\n+\n{'I' * len(p.text)}\n"
+            for p in pairs
+        )
+        streamed = list(stream_pairs(_write(tmp_path, "in.fastq", body)))
+        assert [(p.pattern, p.text) for p in streamed] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+
+    def test_odd_record_count_rejected(self, tmp_path):
+        path = _write(tmp_path, "odd.fasta", ">r1\nACGT\n>r2\nAC\n>r3\nGT\n")
+        with pytest.raises(ValueError, match="odd number of records"):
+            list(stream_pairs(path))
+
+    def test_explicit_format_overrides_sniffing(self, tmp_path):
+        # A FASTA whose first record line could sniff as .seq cannot
+        # exist (.seq needs '<'), but an explicit format must be honoured.
+        path = _write(tmp_path, "in.txt", ">r1\nACGT\n>r2\nAC\n")
+        assert len(list(stream_pairs(path, format="fasta"))) == 1
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = _write(tmp_path, "in.txt", ">A\n<A\n")
+        with pytest.raises(ValueError, match="unknown sequence format"):
+            list(stream_pairs(path, format="bam"))
+
+    def test_lazy_iteration(self, tmp_path):
+        """The stream yields before the file is fully parsed."""
+        body = ">r1\nAC\n>r2\nGT\n" * 100 + ">odd\nAC\n"
+        path = _write(tmp_path, "in.fasta", body)
+        it = stream_pairs(path)
+        first = next(it)
+        assert (first.pattern, first.text) == ("AC", "GT")
+        # The trailing odd record only errors once reached.
+        with pytest.raises(ValueError, match="odd number"):
+            list(it)
+
+
+class TestIterPairChunks:
+    def test_chunks_are_bounded(self):
+        pairs = PairGenerator(length=10, error_rate=0.0, seed=1).batch(7)
+        chunks = list(iter_pair_chunks(iter(pairs), 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [p.pair_id for c in chunks for p in c] == list(range(7))
+
+    def test_exact_multiple(self):
+        pairs = PairGenerator(length=5, error_rate=0.0, seed=1).batch(4)
+        assert [len(c) for c in iter_pair_chunks(iter(pairs), 2)] == [2, 2]
+
+    def test_empty_stream(self):
+        assert list(iter_pair_chunks(iter(()), 4)) == []
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            list(iter_pair_chunks(iter(()), 0))
