@@ -142,6 +142,7 @@ BENCH_JSON = RESULTS_DIR / "BENCH_pr2.json"
 BENCH_JSON_PR4 = RESULTS_DIR / "BENCH_pr4.json"
 BENCH_JSON_PR6 = RESULTS_DIR / "BENCH_pr6.json"
 BENCH_JSON_PR7 = RESULTS_DIR / "BENCH_pr7.json"
+BENCH_JSON_PR8 = RESULTS_DIR / "BENCH_pr8.json"
 
 
 def _bench_recorder(path: Path):
@@ -192,6 +193,12 @@ def bench_json_pr6():
 def bench_json_pr7():
     """Merge machine-readable results into ``BENCH_pr7.json``."""
     return _bench_recorder(BENCH_JSON_PR7)
+
+
+@pytest.fixture(scope="session")
+def bench_json_pr8():
+    """Merge machine-readable results into ``BENCH_pr8.json``."""
+    return _bench_recorder(BENCH_JSON_PR8)
 
 
 @pytest.fixture(scope="session")

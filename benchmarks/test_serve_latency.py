@@ -1,0 +1,183 @@
+"""Serving-layer benchmark: micro-batching vs batch-size-1 dispatch.
+
+ISSUE 8's acceptance number: with concurrent clients, the micro-batching
+scheduler must sustain **at least 2x** the pairs/s of the same server
+forced to dispatch every request alone (``batch_window=0``,
+``max_batch=1``).  The mechanism being measured is amortisation — the
+engine's fixed per-dispatch cost (payload build, report assembly,
+executor hand-off) is paid once per batch instead of once per request —
+so the workload is deliberately duplicate-free: every client sends its
+own unique pairs and the LRU cache never flatters either configuration.
+
+Results land in ``BENCH_pr8.json`` (section ``serve_micro_batching``)
+with sustained pairs/s, the speedup, mean batch size, and p50/p99
+request latencies estimated from the ``serve_request_latency_seconds``
+histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.engine import EngineConfig
+from repro.obs import MetricsRegistry
+from repro.serve import AlignmentServer, ServeClient, ServeConfig
+from repro.workloads import PairGenerator
+
+CLIENTS = 8
+PAIRS_PER_CLIENT = 40
+READ_LEN = 64
+
+
+class _Server:
+    """An :class:`AlignmentServer` on a private event-loop thread."""
+
+    def __init__(self, serve_config: ServeConfig) -> None:
+        self.registry = MetricsRegistry()
+        # The batched backend is the whole point of micro-batching: its
+        # cross-pair lockstep kernels amortise per-step dispatch across
+        # everything in the chunk, which batch-size-1 can never feed.
+        self.server = AlignmentServer(
+            EngineConfig(workers=1, backend="batched", chunk_size=64),
+            serve_config,
+            port=0,
+            registry=self.registry,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "server failed to start"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.wait_closed()
+
+    def shutdown(self) -> None:
+        assert self._loop is not None
+        asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop
+        ).result(30)
+        self._thread.join(10)
+
+
+def _client_workloads() -> list[list[tuple[str, str]]]:
+    """One unique pair list per client (no cross-client duplicates)."""
+    return [
+        [
+            (p.pattern, p.text)
+            for p in PairGenerator(
+                length=READ_LEN, error_rate=0.05, seed=1000 + idx
+            ).batch(PAIRS_PER_CLIENT)
+        ]
+        for idx in range(CLIENTS)
+    ]
+
+
+def _run_config(serve_config: ServeConfig) -> dict:
+    """Drive CLIENTS concurrent pipelined clients; sustained numbers."""
+    handle = _Server(serve_config)
+    host, port = handle.server.address
+    workloads = _client_workloads()
+    barrier = threading.Barrier(CLIENTS)
+    failures: list[str] = []
+
+    def one_client(idx: int) -> None:
+        with ServeClient(host, port) as client:
+            barrier.wait(10)
+            responses = client.align_many(workloads[idx])
+            bad = [r for r in responses if not r.get("ok")]
+            if bad:
+                failures.append(f"client {idx}: {bad[0]}")
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,)) for i in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    elapsed = time.perf_counter() - start
+    assert not failures, failures[0]
+
+    snap = handle.registry.snapshot()
+    handle.shutdown()
+    latency = snap["serve_request_latency_seconds"]["series"][0]["value"]
+    sizes = snap["serve_batch_size"]["series"][0]["value"]
+    total = CLIENTS * PAIRS_PER_CLIENT
+    return {
+        "pairs": total,
+        "elapsed_seconds": round(elapsed, 4),
+        "pairs_per_second": round(total / elapsed, 1),
+        "batches": sizes["count"],
+        "mean_batch_size": round(sizes["sum"] / sizes["count"], 2),
+        "latency_p50_ms": round(_percentile_ms(latency, 0.50), 3),
+        "latency_p99_ms": round(_percentile_ms(latency, 0.99), 3),
+        "latency_mean_ms": round(latency["sum"] / latency["count"] * 1e3, 3),
+    }
+
+
+def _percentile_ms(value: dict, q: float) -> float:
+    """Upper-bound percentile estimate from a histogram snapshot."""
+    target = q * value["count"]
+    seen = 0
+    for bound, count in zip(value["buckets"], value["counts"]):
+        seen += count
+        if seen >= target:
+            return bound * 1e3
+    return value["max"] * 1e3
+
+
+class TestServeMicroBatching:
+    def test_micro_batching_at_least_doubles_throughput(
+        self, bench_json_pr8, report_table
+    ):
+        single = _run_config(ServeConfig(batch_window=0.0, max_batch=1))
+        batched = _run_config(ServeConfig(batch_window=0.002, max_batch=64))
+        speedup = batched["pairs_per_second"] / single["pairs_per_second"]
+
+        rows = [
+            ("batch-size-1", single),
+            ("micro-batched", batched),
+        ]
+        lines = [
+            f"Serve micro-batching — {CLIENTS} clients x "
+            f"{PAIRS_PER_CLIENT} unique pairs ({READ_LEN} bp)",
+            f"{'config':<14} {'pairs/s':>9} {'batches':>8} "
+            f"{'mean size':>10} {'p50 ms':>8} {'p99 ms':>8}",
+        ]
+        for label, r in rows:
+            lines.append(
+                f"{label:<14} {r['pairs_per_second']:>9} {r['batches']:>8} "
+                f"{r['mean_batch_size']:>10} {r['latency_p50_ms']:>8} "
+                f"{r['latency_p99_ms']:>8}"
+            )
+        lines.append(f"speedup: {speedup:.2f}x (acceptance floor: 2.00x)")
+        report_table("\n".join(lines))
+
+        bench_json_pr8(
+            "serve_micro_batching",
+            {
+                "clients": CLIENTS,
+                "pairs_per_client": PAIRS_PER_CLIENT,
+                "read_length": READ_LEN,
+                "batch_size_1": single,
+                "micro_batched": batched,
+                "speedup": round(speedup, 2),
+            },
+        )
+
+        assert batched["mean_batch_size"] > 1.5, (
+            "micro-batching never formed real batches"
+        )
+        assert speedup >= 2.0, (
+            f"micro-batching speedup {speedup:.2f}x below the 2x floor"
+        )

@@ -1,6 +1,6 @@
 """Command-line interface to the WFAsic reproduction.
 
-Eight subcommands cover the common flows:
+Ten subcommands cover the common flows:
 
 * ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
   or custom length/error parameters);
@@ -12,6 +12,12 @@ Eight subcommands cover the common flows:
   writes a Perfetto-loadable Chrome trace of the run and ``--metrics``
   a run manifest (config, git revision, dataset fingerprint, metrics
   snapshot) — see ``docs/observability.md``;
+* ``serve`` — the always-on alignment service: a long-running NDJSON
+  socket server feeding every client's requests through a shared
+  micro-batching scheduler into one long-lived engine (protocol and
+  admission-control contract in ``docs/serving.md``);
+* ``submit`` — the scripting client for a running ``serve`` instance:
+  submit a pairs file (or one inline pair) and print the responses;
 * ``metrics`` — pretty-print the metrics snapshot inside a manifest (or
   a bare snapshot file) written by ``batch --metrics``;
 * ``report`` — the ASIC (§5.2) or FPGA (§5.3) physical summary of a
@@ -33,15 +39,21 @@ Installed as ``repro-wfasic`` (see ``pyproject.toml``); also runnable as
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from .align import DEFAULT_PENALTIES, AffinePenalties
 from .engine import (
     BatchAlignmentEngine,
+    BatchReport,
     EngineConfig,
     backend_names,
     merge_batch_reports,
@@ -58,6 +70,7 @@ from .obs import (
     validate_metrics_snapshot,
 )
 from .reporting import format_table
+from .serve import AlignmentServer, ServeClient, ServeConfig
 from .soc import Soc
 from .verify import EquivalenceChecker
 from .wfasic import WfasicConfig, asic_report
@@ -74,6 +87,73 @@ from .workloads import (
 )
 
 __all__ = ["main", "build_parser", "format_cli_reference"]
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The engine-configuration flags shared by ``batch`` and ``serve``."""
+    parser.add_argument(
+        "--backend", choices=backend_names(), default="vectorized"
+    )
+    parser.add_argument("-j", "--workers", type=int, default=1)
+    parser.add_argument("--chunk-size", type=int, default=16)
+    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument(
+        "--backtrace", action="store_true", help="recover CIGARs"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first per-pair error instead of isolating it",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-chunk timeout on the parallel path (0 disables)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="chunk resubmissions after a timeout or lost worker",
+    )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable zero-copy shared-memory dispatch (parallel path)",
+    )
+    parser.add_argument(
+        "--penalties",
+        metavar="X,O,E",
+        default=None,
+        help="gap-affine penalties as mismatch,gap_open,gap_extend",
+    )
+    parser.add_argument(
+        "--band",
+        type=int,
+        default=None,
+        metavar="DIAGONALS",
+        help="adaptive wavefront band width (band-capable backends "
+        "only; a dead band falls back to exact alignment)",
+    )
+
+
+def _engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """An :class:`EngineConfig` from the shared engine flags."""
+    return EngineConfig(
+        backend=args.backend,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        penalties=_parse_penalties(args.penalties),
+        backtrace=args.backtrace,
+        cache_size=args.cache_size,
+        strict=args.strict,
+        chunk_timeout=args.timeout if args.timeout > 0 else None,
+        max_chunk_retries=args.retries,
+        shared_memory=not args.no_shm,
+        band_width=args.band,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,14 +209,6 @@ def build_parser() -> argparse.ArgumentParser:
         "profile (10-100 kbp)",
     )
     bat.add_argument(
-        "--band",
-        type=int,
-        default=None,
-        metavar="DIAGONALS",
-        help="adaptive wavefront band width (band-capable backends "
-        "only; a dead band falls back to exact alignment)",
-    )
-    bat.add_argument(
         "--stream-chunk",
         type=int,
         default=None,
@@ -144,42 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the input file through the engine this many pairs "
         "at a time (bounded memory; incompatible with --metrics)",
     )
-    bat.add_argument(
-        "--backend", choices=backend_names(), default="vectorized"
-    )
-    bat.add_argument("-j", "--workers", type=int, default=1)
-    bat.add_argument("--chunk-size", type=int, default=16)
-    bat.add_argument("--cache-size", type=int, default=4096)
-    bat.add_argument("--backtrace", action="store_true", help="recover CIGARs")
-    bat.add_argument(
-        "--strict",
-        action="store_true",
-        help="raise on the first per-pair error instead of isolating it",
-    )
-    bat.add_argument(
-        "--timeout",
-        type=float,
-        default=300.0,
-        metavar="SECONDS",
-        help="per-chunk timeout on the parallel path (0 disables)",
-    )
-    bat.add_argument(
-        "--retries",
-        type=int,
-        default=1,
-        help="chunk resubmissions after a timeout or lost worker",
-    )
-    bat.add_argument(
-        "--no-shm",
-        action="store_true",
-        help="disable zero-copy shared-memory dispatch (parallel path)",
-    )
-    bat.add_argument(
-        "--penalties",
-        metavar="X,O,E",
-        default=None,
-        help="gap-affine penalties as mismatch,gap_open,gap_extend",
-    )
+    _add_engine_args(bat)
     bat.add_argument(
         "--profile",
         action="store_true",
@@ -198,6 +235,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="PATH",
         help="write a run manifest (config, git, dataset fingerprint, metrics)",
+    )
+
+    srv = sub.add_parser(
+        "serve", help="always-on alignment service (micro-batching)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=7878, help="TCP port (0 = ephemeral)"
+    )
+    _add_engine_args(srv)
+    srv.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batch accumulation window in milliseconds "
+        "(0 dispatches every request alone)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="requests per dispatched batch (a full batch closes its "
+        "window early)",
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="bounded admission queue; beyond it requests are rejected "
+        "queue_full with a retry_after_ms hint",
+    )
+    srv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline for requests that carry none",
+    )
+    srv.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write 'host port' here once the socket is bound (scripting)",
+    )
+    srv.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace of the session",
+    )
+    srv.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the session's metrics snapshot (JSON) on shutdown",
+    )
+
+    sbm = sub.add_parser(
+        "submit", help="submit pairs to a running serve instance"
+    )
+    sbm.add_argument(
+        "input",
+        nargs="?",
+        help=".seq/FASTA/FASTQ pairs file (omit with --pair or --stats)",
+    )
+    sbm.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("PATTERN", "TEXT"),
+        help="one inline pair instead of a file",
+    )
+    sbm.add_argument("--host", default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=7878)
+    sbm.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline in milliseconds",
+    )
+    sbm.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's stats document (JSON) instead of aligning",
+    )
+    sbm.add_argument("--format", choices=("tsv", "json"), default="tsv")
+    sbm.add_argument(
+        "-o", "--output", help="write results to this file (default stdout)"
     )
 
     met = sub.add_parser(
@@ -322,6 +445,31 @@ def _outcome_rows(pairs, outcomes) -> list[dict]:
     ]
 
 
+@contextmanager
+def _interruptible() -> Iterator[None]:
+    """Route SIGTERM to :class:`KeyboardInterrupt` while the block runs.
+
+    Streamed runs are long-lived; a supervisor's SIGTERM must take the
+    same orderly exit as Ctrl-C — through the engine's context-manager
+    teardown (pool join, ``/dev/shm`` arena unlink) and the partial
+    report — instead of killing the process mid-dispatch.  Signal
+    handlers only install on the main thread; elsewhere (tests calling
+    ``main()`` from a worker thread) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     if (args.input is None) == (args.generate is None):
         print(
@@ -384,19 +532,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             return 1
 
     try:
-        config = EngineConfig(
-            backend=args.backend,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            penalties=_parse_penalties(args.penalties),
-            backtrace=args.backtrace,
-            cache_size=args.cache_size,
-            strict=args.strict,
-            chunk_timeout=args.timeout if args.timeout > 0 else None,
-            max_chunk_retries=args.retries,
-            shared_memory=not args.no_shm,
-            band_width=args.band,
-        )
+        config = _engine_config_from_args(args)
     except ValueError as exc:
         print(f"invalid engine configuration: {exc}", file=sys.stderr)
         return 2
@@ -410,24 +546,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.trace:
         tracer = Tracer()
         previous_tracer = install_tracer(tracer)
+    interrupted = False
     try:
         with BatchAlignmentEngine(config) as engine:
             if args.stream_chunk is not None:
                 # Bounded-memory ingestion: one long-lived engine (its
                 # cache and pool persist), one batch per streamed chunk,
                 # the reports folded into a single summary at the end.
+                # Ctrl-C / SIGTERM mid-stream must neither leak the
+                # engine's /dev/shm arena nor drop the chunks already
+                # aligned: the interrupt is caught *inside* the engine's
+                # context manager (teardown still runs) and the partial
+                # merged report is printed below.
                 rows: list[dict] = []
                 reports = []
-                for chunk in iter_pair_chunks(
-                    stream_pairs(args.input), args.stream_chunk
-                ):
-                    result = engine.align_batch(chunk)
-                    reports.append(result.report)
-                    rows += _outcome_rows(chunk, result.outcomes)
+                stream_start = time.perf_counter()
+                with _interruptible():
+                    try:
+                        for chunk in iter_pair_chunks(
+                            stream_pairs(args.input), args.stream_chunk
+                        ):
+                            result = engine.align_batch(chunk)
+                            reports.append(result.report)
+                            rows += _outcome_rows(chunk, result.outcomes)
+                    except KeyboardInterrupt:
+                        interrupted = True
                 if not reports:
+                    if interrupted:
+                        print("interrupted before any chunk completed",
+                              file=sys.stderr)
+                        return 130
                     print("input file holds no pairs", file=sys.stderr)
                     return 1
-                report = merge_batch_reports(reports)
+                # The session's true wall span, not the per-batch sum —
+                # the sum would drop the streaming/reading gaps between
+                # batches and overstate pairs/s.
+                report = merge_batch_reports(
+                    reports,
+                    wall_seconds=time.perf_counter() - stream_start,
+                )
             else:
                 result = engine.align_batch(pairs)
                 report = result.report
@@ -487,9 +644,139 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(report.describe())
     if args.profile:
         print(report.describe_profile())
+    if interrupted:
+        # The partial results above are real; the exit code still says
+        # the stream never reached its end.
+        print(
+            f"interrupted: results cover the {report.num_pairs} pairs "
+            "whose chunks completed",
+            file=sys.stderr,
+        )
+        return 130
     # Per-pair fault isolation keeps the batch alive, but the exit code
     # still tells automation that some pairs errored.
     return 1 if report.errors else 0
+
+
+async def _serve_session(
+    config: EngineConfig,
+    serve_config: ServeConfig,
+    args: argparse.Namespace,
+) -> BatchReport | None:
+    """Run one serve session until SIGINT/SIGTERM; the merged report."""
+    server = AlignmentServer(
+        config, serve_config, host=args.host, port=args.port
+    )
+    await server.start()
+    host, port = server.address
+    if args.ready_file:
+        Path(args.ready_file).write_text(f"{host} {port}\n", encoding="ascii")
+    print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(
+            sig, lambda: loop.create_task(server.shutdown())
+        )
+    try:
+        await server.wait_closed()
+    finally:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(sig)
+    assert server.batcher is not None
+    return server.batcher.session_report()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        config = _engine_config_from_args(args)
+        serve_config = ServeConfig(
+            batch_window=args.batch_window / 1e3,
+            max_batch=args.max_batch,
+            max_queue_depth=args.queue_depth,
+            default_deadline_ms=args.deadline,
+        )
+    except ValueError as exc:
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+    # A fresh registry scopes the session's metrics to this serve run;
+    # the scheduler publishes to the process registry by default.
+    registry = MetricsRegistry()
+    set_registry(registry)
+    tracer = previous_tracer = None
+    if args.trace:
+        tracer = Tracer()
+        previous_tracer = install_tracer(tracer)
+    try:
+        report = asyncio.run(_serve_session(config, serve_config, args))
+    finally:
+        if tracer is not None:
+            install_tracer(previous_tracer)
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="ascii") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
+    if report is not None:
+        print(report.describe())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if not args.stats and (args.input is None) == (args.pair is None):
+        print(
+            "submit needs a pairs file or --pair (not both), or --stats",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        client = ServeClient(args.host, args.port)
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot connect to {args.host}:{args.port}: {exc} "
+            "(is `repro-wfasic serve` running?)",
+            file=sys.stderr,
+        )
+        return 1
+    with client:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.pair is not None:
+            pairs = [(args.pair[0], args.pair[1])]
+        else:
+            try:
+                pairs = [
+                    (p.pattern, p.text) for p in read_pairs_file(args.input)
+                ]
+            except ValueError as exc:
+                print(f"cannot read input: {exc}", file=sys.stderr)
+                return 1
+            if not pairs:
+                print("input file holds no pairs", file=sys.stderr)
+                return 1
+        responses = client.align_many(pairs, deadline_ms=args.deadline)
+
+    if args.format == "json":
+        doc = json.dumps({"results": responses}, indent=2)
+    else:
+        lines = ["id\tok\tscore\tsuccess\tcigar\terror"]
+        for r in responses:
+            lines.append(
+                f"{r.get('id')}\t{int(bool(r.get('ok')))}\t"
+                f"{r.get('score') if r.get('score') is not None else '.'}\t"
+                f"{int(bool(r.get('success')))}\t{r.get('cigar') or '.'}\t"
+                f"{r.get('error_kind') or '.'}"
+            )
+        doc = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(doc + "\n")
+    else:
+        print(doc)
+    return 0 if all(r.get("ok") for r in responses) else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -721,6 +1008,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "align": _cmd_align,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "metrics": _cmd_metrics,
         "report": _cmd_report,
         "stats": _cmd_stats,

@@ -1070,20 +1070,34 @@ def align_pairs(
         return engine.align_batch(pairs)
 
 
-def merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
-    """Fold the per-chunk reports of a streamed run into one summary.
+def merge_batch_reports(
+    reports: Sequence[BatchReport], *, wall_seconds: float | None = None
+) -> BatchReport:
+    """Fold the per-batch reports of a long-lived session into one summary.
 
-    The CLI's streaming ingestion path (``--stream-chunk``) aligns one
-    bounded batch at a time through a single long-lived engine; this
-    combines their reports as if the stream had been one batch: counters
-    and profiles sum, worker busy-time merges per worker, and the derived
-    rates (pairs/s, GCUPS, utilisation) fall out of the summed fields.
-    ``elapsed_seconds`` is the sum of batch wall-times — the engine is
-    strictly serial across streamed batches, so there is no overlap to
-    correct for.  Raises :class:`ValueError` on an empty sequence.
+    The CLI's streaming ingestion path (``--stream-chunk``) and the
+    serving layer (``repro-wfasic serve``) align one bounded batch at a
+    time through a single long-lived engine; this combines their reports
+    as if the session had been one batch: counters and profiles sum,
+    worker busy-time merges per worker, and the derived rates (pairs/s,
+    GCUPS, utilisation) fall out of the summed fields.
+
+    ``wall_seconds`` is the session's *wall-clock span*, measured by the
+    caller around the whole run, and is what ``elapsed_seconds`` (and so
+    every derived rate) is set to when given.  The fallback — summing
+    the per-batch wall-times — is only correct when batches are strictly
+    serial and back-to-back: the moment two batches overlap in time
+    (a concurrent server) or idle gaps sit between them, the sum deflates
+    or inflates pairs/s, GCUPS and worker utilisation.  Callers that
+    know their span should always pass it; the sum remains the
+    documented fallback for plain serial merges with no clock of their
+    own.  Raises :class:`ValueError` on an empty sequence or a negative
+    ``wall_seconds``.
     """
     if not reports:
         raise ValueError("merge_batch_reports needs at least one report")
+    if wall_seconds is not None and wall_seconds < 0:
+        raise ValueError("wall_seconds must be >= 0 (or None)")
     first = reports[0]
     profile: dict = {}
     workers: dict[int, WorkerStats] = {}
@@ -1109,7 +1123,11 @@ def merge_batch_reports(reports: Sequence[BatchReport]) -> BatchReport:
         retries=sum(r.retries for r in reports),
         band_fallbacks=sum(r.band_fallbacks for r in reports),
         peak_wavefront_bytes=sum(r.peak_wavefront_bytes for r in reports),
-        elapsed_seconds=sum(r.elapsed_seconds for r in reports),
+        elapsed_seconds=(
+            wall_seconds
+            if wall_seconds is not None
+            else sum(r.elapsed_seconds for r in reports)
+        ),
         swg_cells=sum(r.swg_cells for r in reports),
         worker_stats=sorted(workers.values(), key=lambda w: w.worker_id),
         profile=profile,

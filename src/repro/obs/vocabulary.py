@@ -41,6 +41,13 @@ METRIC_NAMES = frozenset({
     # zero-copy dispatch (engine, shared-memory arena)
     "engine_shm_sequences_total",
     "engine_shm_arena_bytes",
+    # alignment service (repro.serve: micro-batching admission control)
+    "serve_requests_total",
+    "serve_rejected_total",
+    "serve_batches_total",
+    "serve_request_latency_seconds",
+    "serve_batch_size",
+    "serve_queue_depth",
     # accelerator simulator (publish_accelerator_batch)
     "wfasic_cycles_total",
     "wfasic_makespan_cycles_total",
@@ -62,5 +69,5 @@ LABEL_KEYS = frozenset({
     "backend",  # engine_* — which alignment backend served the batch
     "stage",    # *_stage_* and wfasic_cycles_total — pipeline stage
     "success",  # wfasic_alignments_total — hardware Success flag
-    "kind",     # soc_cpu_cycles_total — modelled CPU activity
+    "kind",     # soc_cpu_cycles_total / serve_* — activity or request kind
 })

@@ -1,0 +1,138 @@
+"""A small synchronous client for the alignment service.
+
+:class:`ServeClient` speaks the NDJSON protocol over one TCP
+connection.  It is deliberately synchronous — the scripting and test
+surface (``repro-wfasic submit`` is built on it) — while still
+exploiting the server's pipelining: :meth:`align_many` writes every
+request before reading any response, so one scripted client fills the
+server's micro-batches as well as a fleet of concurrent ones.
+
+Responses may arrive out of order (the protocol contract); the client
+tags every request with a connection-unique ``id`` and reorders on
+receipt, so callers always get answers in submission order.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from types import TracebackType
+from typing import Iterable, Sequence
+
+from .protocol import decode_line
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a running :class:`AlignmentServer`.
+
+    Usable as a context manager; ``timeout`` is the socket timeout per
+    read (a stuck server surfaces as :class:`socket.timeout` instead of
+    a hang).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7878, *, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # -- wire helpers --------------------------------------------------
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, doc: dict) -> None:
+        self._fh.write((json.dumps(doc, separators=(",", ":")) + "\n").encode("ascii"))
+
+    def _recv(self) -> dict:
+        line = self._fh.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def request(self, doc: dict) -> dict:
+        """Send one raw request document and wait for its response."""
+        if "id" not in doc:
+            doc = {**doc, "id": self._fresh_id()}
+        self._send(doc)
+        self._fh.flush()
+        return self._recv()
+
+    # -- API -----------------------------------------------------------
+
+    def align(
+        self,
+        pattern: str,
+        text: str,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Align one pair; returns the response document."""
+        doc: dict = {"type": "align", "pattern": pattern, "text": text}
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return self.request(doc)
+
+    def align_many(
+        self,
+        pairs: Iterable[Sequence[str]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> list[dict]:
+        """Align many pairs pipelined; responses in submission order.
+
+        Every request goes out before any response is read — this is
+        what lets a single connection fill server-side micro-batches —
+        then responses are matched back by ``id``.
+        """
+        ids: list[int] = []
+        for pattern, text in pairs:
+            request_id = self._fresh_id()
+            ids.append(request_id)
+            doc: dict = {
+                "type": "align",
+                "id": request_id,
+                "pattern": pattern,
+                "text": text,
+            }
+            if deadline_ms is not None:
+                doc["deadline_ms"] = deadline_ms
+            self._send(doc)
+        self._fh.flush()
+        by_id: dict[object, dict] = {}
+        for _ in ids:
+            response = self._recv()
+            by_id[response.get("id")] = response
+        return [by_id[request_id] for request_id in ids]
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot + merged session report."""
+        return self.request({"type": "stats"})
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the ``pong`` document."""
+        return self.request({"type": "ping"})

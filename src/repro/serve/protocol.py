@@ -1,0 +1,184 @@
+"""The serve wire protocol: newline-delimited JSON requests/responses.
+
+One TCP connection carries any number of requests, one JSON document
+per line (NDJSON).  Responses echo the request's ``id`` verbatim and
+**may arrive out of order** — the server pipelines every request on a
+connection into the shared micro-batching scheduler, so a client that
+sends ten lines back to back gets ten answers in whatever order their
+batches complete.  Clients that care match on ``id``
+(:class:`repro.serve.client.ServeClient` does).
+
+Three request kinds::
+
+    {"type": "align", "id": 7, "pattern": "ACGT", "text": "ACCT",
+     "deadline_ms": 250}          # deadline optional
+    {"type": "stats", "id": "s"}  # metrics snapshot + session report
+    {"type": "ping", "id": 0}
+
+``type`` defaults to ``align`` so the minimal request is just
+``{"pattern": ..., "text": ...}``.  An align response mirrors the
+engine's :class:`~repro.engine.PairOutcome` channels exactly — the
+hardware ``success`` flag and the ``ok``/``error_kind``/``error_msg``
+engine error channel — which is what makes served responses
+bit-comparable with a one-shot :func:`repro.engine.align_pairs` run::
+
+    {"id": 7, "ok": true, "score": -4, "success": true, "cigar": null,
+     "error_kind": null, "error_msg": null}
+
+Admission-control rejections reuse the same shape with serve-specific
+``error_kind`` values (and ``retry_after_ms`` on ``queue_full``):
+
+* ``queue_full`` — the bounded queue is at capacity; retry after
+  ``retry_after_ms`` (the backpressure contract, ``docs/serving.md``);
+* ``deadline_exceeded`` — the request's deadline passed before its
+  batch dispatched (the serve-side face of PR 3's timeout machinery;
+  engine-side chunk timeouts still surface as ``timeout``);
+* ``shutting_down`` — the server is draining; the connection will close
+  once in-flight batches finish;
+* ``protocol_error`` — the line was not a valid request (malformed
+  JSON, missing fields, wrong types).
+
+A malformed *line* never kills the connection: the server answers with
+``protocol_error`` (``id`` null when unparseable) and keeps reading.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "ProtocolError",
+    "AlignRequest",
+    "ControlRequest",
+    "ERROR_QUEUE_FULL",
+    "ERROR_DEADLINE",
+    "ERROR_SHUTTING_DOWN",
+    "ERROR_PROTOCOL",
+    "parse_request",
+    "align_response",
+    "error_response",
+    "encode_line",
+    "decode_line",
+]
+
+#: Serve-level ``error_kind`` values (the engine's taxonomy lives in
+#: :mod:`repro.engine.validation`; these extend it at the admission
+#: boundary and never collide with it).
+ERROR_QUEUE_FULL = "queue_full"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_SHUTTING_DOWN = "shutting_down"
+ERROR_PROTOCOL = "protocol_error"
+
+
+class ProtocolError(ValueError):
+    """A request line that is not a valid protocol document."""
+
+
+@dataclass(frozen=True)
+class AlignRequest:
+    """One alignment job: the unit the micro-batcher schedules."""
+
+    #: Echoed verbatim in the response (any JSON scalar; ``None`` legal).
+    request_id: Any
+    pattern: str
+    text: str
+    #: Per-request latency budget in milliseconds, measured from arrival
+    #: at the server; ``None`` uses the server's default deadline.
+    deadline_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """A non-alignment request: ``stats`` or ``ping``."""
+
+    request_id: Any
+    kind: str
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one NDJSON line into a dict, or raise :class:`ProtocolError`."""
+    try:
+        doc = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request line is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def parse_request(line: bytes | str) -> AlignRequest | ControlRequest:
+    """One wire line -> a typed request, or raise :class:`ProtocolError`."""
+    doc = decode_line(line)
+    request_id = doc.get("id")
+    kind = doc.get("type", "align")
+    if kind in ("stats", "ping"):
+        return ControlRequest(request_id=request_id, kind=kind)
+    if kind != "align":
+        raise ProtocolError(f"unknown request type {kind!r}")
+    missing = [key for key in ("pattern", "text") if key not in doc]
+    if missing:
+        raise ProtocolError(
+            f"align request is missing {', '.join(missing)!s}"
+        )
+    pattern, text = doc["pattern"], doc["text"]
+    if not isinstance(pattern, str) or not isinstance(text, str):
+        raise ProtocolError("pattern and text must be strings")
+    deadline_ms = doc.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ):
+            raise ProtocolError("deadline_ms must be a number")
+        if deadline_ms <= 0:
+            raise ProtocolError("deadline_ms must be > 0")
+        deadline_ms = float(deadline_ms)
+    return AlignRequest(
+        request_id=request_id,
+        pattern=pattern,
+        text=text,
+        deadline_ms=deadline_ms,
+    )
+
+
+def align_response(request_id: Any, outcome: Any) -> dict:
+    """The response document for a served :class:`PairOutcome`."""
+    return {
+        "id": request_id,
+        "ok": outcome.ok,
+        "score": outcome.score,
+        "success": outcome.success,
+        "cigar": outcome.cigar,
+        "error_kind": outcome.error_kind,
+        "error_msg": outcome.error_msg,
+    }
+
+
+def error_response(
+    request_id: Any,
+    kind: str,
+    msg: str,
+    *,
+    retry_after_ms: float | None = None,
+) -> dict:
+    """A serve-level rejection (admission control, protocol errors)."""
+    doc = {
+        "id": request_id,
+        "ok": False,
+        "score": 0,
+        "success": False,
+        "cigar": None,
+        "error_kind": kind,
+        "error_msg": msg,
+    }
+    if retry_after_ms is not None:
+        doc["retry_after_ms"] = retry_after_ms
+    return doc
+
+
+def encode_line(doc: dict) -> bytes:
+    """Serialise one response document as an NDJSON line."""
+    return (json.dumps(doc, separators=(",", ":")) + "\n").encode("ascii")

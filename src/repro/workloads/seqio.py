@@ -19,12 +19,16 @@ FASTA).  In FASTA/FASTQ, **consecutive records pair up**: record ``2i``
 is pair *i*'s pattern, record ``2i+1`` its text, and an odd record count
 is an error.  :func:`iter_pair_chunks` re-chunks any pair iterator for
 bounded-memory batch submission (the CLI's ``--stream-chunk``).
+
+Malformed input of any kind — wrong structure, truncated records, or a
+non-ASCII byte anywhere in the file — raises :class:`ValueError` with
+file and position context, never a raw :class:`UnicodeDecodeError`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import IO, Iterable, Iterator
 
 from .generator import SequencePair
 
@@ -44,6 +48,36 @@ __all__ = [
 #: The input formats :func:`stream_pairs` understands (and
 #: :func:`sniff_format` can detect).
 SEQUENCE_FORMATS = ("seq", "fasta", "fastq")
+
+
+def _ascii_lines(fh: IO[str], path: str | Path) -> Iterator[str]:
+    """Yield ``fh``'s lines, mapping decode failures to the module contract.
+
+    Every reader here opens files with ``encoding="ascii"`` (sequence
+    data and headers are ASCII by format definition), so a stray
+    non-ASCII byte — a UTF-8 header, a gzip magic number, a truncated
+    download — would otherwise surface as a raw
+    :class:`UnicodeDecodeError` from deep inside the line iterator.
+    This wrapper re-raises it as the module's contractual
+    :class:`ValueError`, naming the file, the offending byte and the
+    line the reader had reached (approximate: the decoder works on
+    buffered chunks, so the byte sits on or shortly after that line).
+    """
+    lineno = 0
+    while True:
+        try:
+            line = fh.readline()
+        except UnicodeDecodeError as exc:
+            bad = exc.object[exc.start]
+            byte = bad if isinstance(bad, int) else ord(bad)
+            raise ValueError(
+                f"{path}: non-ASCII byte {byte:#04x} near line {lineno + 1} "
+                "— sequence files (headers included) must be ASCII"
+            ) from exc
+        if not line:
+            return
+        lineno += 1
+        yield line
 
 
 def iter_seq_lines(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
@@ -77,7 +111,7 @@ def read_seq_file(path: str | Path) -> list[SequencePair]:
     with open(path, "r", encoding="ascii") as fh:
         return [
             SequencePair(pattern=pat, text=txt, pair_id=i)
-            for i, (pat, txt) in enumerate(iter_seq_lines(fh))
+            for i, (pat, txt) in enumerate(iter_seq_lines(_ascii_lines(fh, path)))
         ]
 
 
@@ -105,7 +139,7 @@ def sniff_format(path: str | Path) -> str:
     """
     first: str | None = None
     with open(path, "r", encoding="ascii") as fh:
-        for raw in fh:
+        for raw in _ascii_lines(fh, path):
             line = raw.strip()
             if not line:
                 continue
@@ -233,14 +267,15 @@ def stream_pairs(
             f"expected one of {', '.join(SEQUENCE_FORMATS)}"
         )
     with open(path, "r", encoding="ascii") as fh:
+        lines = _ascii_lines(fh, path)
         if fmt == "seq":
-            for slot, (pat, txt) in enumerate(iter_seq_lines(fh)):
+            for slot, (pat, txt) in enumerate(iter_seq_lines(lines)):
                 yield SequencePair(pattern=pat, text=txt, pair_id=slot)
         else:
             records = (
-                iter_fasta_records(fh)
+                iter_fasta_records(lines)
                 if fmt == "fasta"
-                else iter_fastq_records(fh)
+                else iter_fastq_records(lines)
             )
             yield from _pair_records(records, path)
 

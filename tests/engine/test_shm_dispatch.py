@@ -292,3 +292,81 @@ class TestFaultToleranceParity:
         )
         assert [o.ok for o in res.outcomes] == [True] * 5 + [False]
         assert leaked_segments() == []
+
+
+class TestInterruptedStream:
+    """ISSUE 8 satellite 3: interrupting a streamed CLI run is clean.
+
+    A SIGTERM (or Ctrl-C) mid-`--stream-chunk` must take the orderly
+    exit: the engine context manager still tears down (pool joined, no
+    ``/dev/shm`` segment left behind) and the partial merged report
+    over the chunks that completed is still printed, with exit code
+    130.  Subprocess-based — signals and ``/dev/shm`` lifetimes only
+    mean anything across a real process boundary.
+    """
+
+    SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+    def _spawn_stream(self, tmp_path, num_pairs):
+        import subprocess
+        import sys
+
+        seq = tmp_path / "stream.seq"
+        gen = PairGenerator(length=600, error_rate=0.08, seed=7)
+        lines = []
+        for pair in gen.batch(num_pairs):
+            lines += [f">{pair.pattern}", f"<{pair.text}"]
+        seq.write_text("\n".join(lines) + "\n", encoding="ascii")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(self.SRC_DIR)
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "batch", str(seq),
+                "--stream-chunk", "4", "--workers", "2", "--chunk-size", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigterm_keeps_partial_report_and_leaks_nothing(self, tmp_path):
+        import signal as signal_module
+        import time
+
+        before = _shm_entries()
+        proc = self._spawn_stream(tmp_path, num_pairs=4000)
+        try:
+            time.sleep(3.0)  # engine up, several chunks through
+            proc.send_signal(signal_module.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, stderr
+        assert "interrupted" in stderr
+        # The partial merged report survived: result rows plus the
+        # describe() footer over however many chunks completed.
+        assert "pairs=" in stdout, stdout
+        assert "pair_id\tscore" in stdout
+        assert _shm_entries() - before == set()
+        assert leaked_segments(proc.pid) == []
+
+    def test_sigterm_before_any_chunk_is_still_clean(self, tmp_path):
+        import signal as signal_module
+
+        before = _shm_entries()
+        proc = self._spawn_stream(tmp_path, num_pairs=4000)
+        try:
+            proc.send_signal(signal_module.SIGTERM)  # likely pre-engine
+            stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # Either nothing completed (the bare notice) or some chunks
+        # did (the partial report) — both exit 130 and leak nothing.
+        assert proc.returncode in (130, -15), stderr
+        assert _shm_entries() - before == set()
+        assert leaked_segments(proc.pid) == []

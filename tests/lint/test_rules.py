@@ -610,3 +610,75 @@ class TestW008PrintInLibrary:
 
 def _rules_of(findings):
     return sorted(f.rule_id for f in findings)
+
+
+class TestServeTreeInScope:
+    """ISSUE 8: the serving layer is inside the lint gate, not beside it.
+
+    W006's scope is the ``repro/`` path fragment, so ``repro/serve/``
+    joined the closed-metrics-vocabulary check the moment it was
+    created — these tests pin that (a scope regression to, say,
+    ``repro/engine/`` would silently unlint the service), and that the
+    real ``serve_*`` vocabulary rows pass clean.
+    """
+
+    SERVE_VOCABULARY = """\
+    METRIC_NAMES = frozenset({
+        "serve_requests_total",
+        "serve_request_latency_seconds",
+    })
+    LABEL_KEYS = frozenset({"kind"})
+    """
+
+    def test_undeclared_metric_in_serve_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/serve/scheduler.py": """\
+                def publish(reg):
+                    reg.counter("serve_bogus_total", "undeclared").inc()
+                """
+            },
+            with_vocabulary=True,
+        )
+        assert _rules(result) == ["W006"]
+
+    def test_declared_serve_metrics_pass(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/obs/vocabulary.py": self.SERVE_VOCABULARY,
+                "src/repro/serve/scheduler.py": """\
+                def publish(reg, n):
+                    c = reg.counter("serve_requests_total", "by kind")
+                    c.inc(n, {"kind": "align"})
+                    reg.histogram(
+                        "serve_request_latency_seconds", "latency"
+                    ).observe(0.01)
+                """,
+            },
+        )
+        assert _rules(result) == []
+
+    def test_unknown_label_key_in_serve_flagged(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/obs/vocabulary.py": self.SERVE_VOCABULARY,
+                "src/repro/serve/server.py": """\
+                def publish(reg):
+                    c = reg.counter("serve_requests_total", "by kind")
+                    c.inc(1, {"client": "cli"})
+                """,
+            },
+        )
+        assert _rules(result) == ["W006"]
+
+    def test_print_in_serve_flagged(self, lint_tree):
+        # W008: the server never prints — stdout belongs to the CLI.
+        result = lint_tree(
+            {
+                "src/repro/serve/server.py": """\
+                def handle(doc):
+                    print("got", doc)
+                """
+            },
+        )
+        assert _rules(result) == ["W008"]

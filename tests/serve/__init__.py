@@ -1,0 +1,1 @@
+"""Tests for the alignment service (`repro.serve`)."""

@@ -1,0 +1,105 @@
+"""Unit tests for the NDJSON wire protocol."""
+
+import json
+
+import pytest
+
+from repro.engine import PairOutcome
+from repro.serve import (
+    ERROR_QUEUE_FULL,
+    AlignRequest,
+    ControlRequest,
+    ProtocolError,
+    align_response,
+    decode_line,
+    encode_line,
+    error_response,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_minimal_align(self):
+        req = parse_request(b'{"pattern": "ACGT", "text": "ACCT"}')
+        assert req == AlignRequest(
+            request_id=None, pattern="ACGT", text="ACCT", deadline_ms=None
+        )
+
+    def test_full_align(self):
+        req = parse_request(
+            '{"type": "align", "id": 7, "pattern": "A", "text": "T", '
+            '"deadline_ms": 250}'
+        )
+        assert isinstance(req, AlignRequest)
+        assert req.request_id == 7
+        assert req.deadline_ms == 250.0
+
+    @pytest.mark.parametrize("kind", ["ping", "stats"])
+    def test_control_kinds(self, kind):
+        req = parse_request(json.dumps({"type": kind, "id": "x"}))
+        assert req == ControlRequest(request_id="x", kind=kind)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b'["a", "list"]',
+            b'{"type": "frobnicate"}',
+            b'{"type": "align", "pattern": "A"}',
+            b'{"pattern": 1, "text": "T"}',
+            b'{"pattern": "A", "text": "T", "deadline_ms": "soon"}',
+            b'{"pattern": "A", "text": "T", "deadline_ms": 0}',
+            b'{"pattern": "A", "text": "T", "deadline_ms": -5}',
+            b'{"pattern": "A", "text": "T", "deadline_ms": true}',
+        ],
+    )
+    def test_invalid_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+    def test_missing_fields_named(self):
+        with pytest.raises(ProtocolError, match="pattern, text"):
+            parse_request(b"{}")
+
+
+class TestResponses:
+    def test_align_response_mirrors_outcome_channels(self):
+        outcome = PairOutcome(
+            slot=0,
+            score=12,
+            success=True,
+            cigar="4M",
+            ok=True,
+            error_kind=None,
+            error_msg=None,
+        )
+        doc = align_response(9, outcome)
+        assert doc == {
+            "id": 9,
+            "ok": True,
+            "score": 12,
+            "success": True,
+            "cigar": "4M",
+            "error_kind": None,
+            "error_msg": None,
+        }
+
+    def test_error_response_shape(self):
+        doc = error_response(None, ERROR_QUEUE_FULL, "full", retry_after_ms=8.0)
+        assert doc["ok"] is False
+        assert doc["error_kind"] == ERROR_QUEUE_FULL
+        assert doc["retry_after_ms"] == 8.0
+        # Without the hint the key is absent, not null.
+        assert "retry_after_ms" not in error_response(None, "x", "y")
+
+
+class TestWire:
+    def test_encode_decode_roundtrip(self):
+        doc = {"id": 3, "ok": True, "score": -4}
+        line = encode_line(doc)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == doc
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"42")

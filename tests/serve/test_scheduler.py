@@ -1,0 +1,222 @@
+"""Unit tests for the micro-batching scheduler (admission control).
+
+No sockets here: the :class:`MicroBatcher` is driven directly on a
+private event loop per test (the suite has no async plugin — each test
+owns its loop via ``asyncio.run``), against a real single-worker
+engine.  The socket/connection layer has its own suite in
+``test_server.py``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.engine import BatchAlignmentEngine, EngineConfig
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    ERROR_DEADLINE,
+    ERROR_QUEUE_FULL,
+    ERROR_SHUTTING_DOWN,
+    AlignRequest,
+    MicroBatcher,
+    ServeConfig,
+)
+
+PAIRS = [("ACGT", "ACGT"), ("ACGT", "ACCT"), ("AAAA", "AATA")]
+
+
+def run_batcher(coro_fn, config=None, *, registry=None):
+    """Run ``coro_fn(batcher)`` against a fresh engine + batcher."""
+
+    async def main():
+        with BatchAlignmentEngine(EngineConfig(workers=1)) as engine:
+            batcher = MicroBatcher(engine, config, registry=registry)
+            batcher.start()
+            try:
+                return await coro_fn(batcher)
+            finally:
+                await batcher.drain()
+
+    return asyncio.run(main())
+
+
+def request(i, pattern="ACGT", text="ACCT", deadline_ms=None):
+    return AlignRequest(
+        request_id=i, pattern=pattern, text=text, deadline_ms=deadline_ms
+    )
+
+
+class TestDispatch:
+    def test_single_request_round_trip(self):
+        async def go(batcher):
+            return await batcher.submit(request(1, "ACGT", "ACGT"))
+
+        doc = run_batcher(go, ServeConfig(batch_window=0.0))
+        assert doc == {
+            "id": 1,
+            "ok": True,
+            "score": 0,
+            "success": True,
+            "cigar": None,
+            "error_kind": None,
+            "error_msg": None,
+        }
+
+    def test_concurrent_submissions_share_a_batch(self):
+        async def go(batcher):
+            docs = await asyncio.gather(
+                *(batcher.submit(request(i, p, t))
+                  for i, (p, t) in enumerate(PAIRS))
+            )
+            return docs
+
+        registry = MetricsRegistry()
+        docs = run_batcher(
+            go, ServeConfig(batch_window=0.05), registry=registry
+        )
+        assert [d["id"] for d in docs] == [0, 1, 2]
+        assert all(d["ok"] for d in docs)
+        # One window, one batch: the whole gather dispatched together.
+        snap = registry.snapshot()
+        assert snap["serve_batches_total"]["series"][0]["value"] == 1
+        sizes = snap["serve_batch_size"]["series"][0]["value"]
+        assert sizes["count"] == 1 and sizes["max"] == len(PAIRS)
+
+    def test_full_batch_closes_window_early(self):
+        config = ServeConfig(batch_window=30.0, max_batch=3)
+
+        async def go(batcher):
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(batcher.submit(request(i, p, t))
+                  for i, (p, t) in enumerate(PAIRS))
+            )
+            return time.perf_counter() - start
+
+        # With a 30 s window, only the early close explains a fast run.
+        assert run_batcher(go, config) < 5.0
+
+    def test_cross_client_duplicates_coalesce_in_engine(self):
+        async def go(batcher):
+            docs = await asyncio.gather(
+                *(batcher.submit(request(i, "ACGT", "ACCT"))
+                  for i in range(6))
+            )
+            report = batcher.session_report()
+            return docs, report
+
+        docs, report = run_batcher(go, ServeConfig(batch_window=0.05))
+        assert len({d["score"] for d in docs}) == 1
+        # Six identical requests, one window: one real alignment, the
+        # rest folded by within-batch coalescing (or served by the LRU
+        # cache if a straggler lands in a second batch).
+        assert report.num_pairs == 6
+        assert report.pairs_aligned == 1
+        assert report.coalesced + report.cache_hits == 5
+
+
+class TestAdmission:
+    def test_queue_full_rejected_with_retry_hint(self):
+        async def go(batcher):
+            # Fill the queue directly (without waking the loop) so the
+            # depth is exactly at capacity when the real submit arrives.
+            batcher._queue.extend(
+                _pending(asyncio.get_running_loop(), i) for i in range(2)
+            )
+            return await batcher.submit(request(99))
+
+        doc = run_batcher(go, ServeConfig(max_queue_depth=2))
+        assert doc["ok"] is False
+        assert doc["error_kind"] == ERROR_QUEUE_FULL
+        assert doc["retry_after_ms"] >= 1.0
+
+    def test_deadline_expired_in_queue_never_dispatches(self):
+        async def go(batcher):
+            stale = batcher.submit(
+                request(1, deadline_ms=0.001)
+            )
+            await asyncio.sleep(0.03)  # deadline passes inside the window
+            return await stale
+
+        doc = run_batcher(go, ServeConfig(batch_window=0.02))
+        assert doc["ok"] is False
+        assert doc["error_kind"] == ERROR_DEADLINE
+
+    def test_default_deadline_applies_when_request_has_none(self):
+        config = ServeConfig(batch_window=0.05, default_deadline_ms=0.001)
+
+        async def go(batcher):
+            stale = batcher.submit(request(1))
+            await asyncio.sleep(0.03)
+            return await stale
+
+        assert run_batcher(go, config)["error_kind"] == ERROR_DEADLINE
+
+    def test_draining_rejects_new_submissions(self):
+        async def go(batcher):
+            await batcher.drain()
+            return await batcher.submit(request(1))
+
+        doc = run_batcher(go)
+        assert doc["error_kind"] == ERROR_SHUTTING_DOWN
+
+    def test_drain_still_answers_queued_requests(self):
+        async def go(batcher):
+            pending = [
+                asyncio.ensure_future(batcher.submit(request(i, p, t)))
+                for i, (p, t) in enumerate(PAIRS)
+            ]
+            await asyncio.sleep(0)  # queued, not yet dispatched
+            await batcher.drain()
+            return [await f for f in pending]
+
+        docs = run_batcher(go, ServeConfig(batch_window=60.0))
+        assert [d["ok"] for d in docs] == [True, True, True]
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_window": -0.001},
+            {"max_batch": 0},
+            {"max_queue_depth": 0},
+            {"default_deadline_ms": 0},
+            {"default_deadline_ms": -1},
+        ],
+    )
+    def test_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+
+class TestSessionReport:
+    def test_none_before_first_batch(self):
+        async def go(batcher):
+            return batcher.session_report()
+
+        assert run_batcher(go) is None
+
+    def test_uses_session_wall_clock(self):
+        async def go(batcher):
+            await batcher.submit(request(1))
+            await asyncio.sleep(0.05)  # idle time the sum would drop
+            await batcher.submit(request(2))
+            return batcher.session_report()
+
+        report = run_batcher(go, ServeConfig(batch_window=0.0))
+        assert report.num_pairs == 2
+        # Wall span includes the idle gap; the per-batch sum cannot.
+        assert report.elapsed_seconds >= 0.05
+
+
+def _pending(loop, i):
+    from repro.serve.scheduler import _Pending
+
+    return _Pending(
+        request=request(i),
+        future=loop.create_future(),
+        arrival=time.perf_counter(),
+        expires=None,
+    )

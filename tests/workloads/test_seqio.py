@@ -227,3 +227,64 @@ class TestIterPairChunks:
     def test_chunk_size_validated(self):
         with pytest.raises(ValueError):
             list(iter_pair_chunks(iter(()), 0))
+
+
+def _write_bytes(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_bytes(payload)
+    return path
+
+
+class TestNonAsciiBytes:
+    """Non-ASCII input surfaces as the contractual ``ValueError``.
+
+    The readers promise "malformed input raises ``ValueError``"; before
+    ISSUE 8 a file with non-ASCII bytes (a UTF-8 header from an
+    external tool, a stray 0xFF) leaked a raw ``UnicodeDecodeError``
+    through ``sniff_format``/``read_seq_file``/``stream_pairs``
+    instead, which the CLI's error handling does not catch.
+    """
+
+    #: A FASTA whose header carries a UTF-8 micro sign (0xC2 0xB5).
+    UTF8_FASTA = b">read-\xc2\xb5\nACGT\n>r2\nACGG\n"
+
+    def test_sniff_format_raises_value_error(self, tmp_path):
+        path = _write_bytes(tmp_path, "in.fa", b"\xff>r1\nACGT\n")
+        with pytest.raises(ValueError, match="non-ASCII byte 0xff"):
+            sniff_format(path)
+
+    def test_read_seq_file_names_file_and_position(self, tmp_path):
+        path = _write_bytes(tmp_path, "in.seq", b">ACGT\n<AC\xf1GT\n")
+        with pytest.raises(ValueError) as excinfo:
+            read_seq_file(path)
+        message = str(excinfo.value)
+        assert "in.seq" in message
+        assert "0xf1" in message
+        # "near line N" is approximate: the text decoder reads buffered
+        # chunks ahead of the line iterator, so the error can surface a
+        # line or two before the byte's true position.
+        assert "near line" in message
+
+    def test_stream_pairs_fasta_header_raises_value_error(self, tmp_path):
+        path = _write_bytes(tmp_path, "in.fasta", self.UTF8_FASTA)
+        with pytest.raises(ValueError, match="non-ASCII byte 0xc2"):
+            list(stream_pairs(path))
+
+    def test_stream_pairs_fastq_raises_value_error(self, tmp_path):
+        path = _write_bytes(
+            tmp_path, "in.fastq", b"@r1\nACGT\n+\nII\x80I\n"
+        )
+        with pytest.raises(ValueError, match="non-ASCII"):
+            list(stream_pairs(path, format="fastq"))
+
+    def test_chained_cause_is_preserved(self, tmp_path):
+        # The original decode error stays on the chain for debugging.
+        path = _write_bytes(tmp_path, "in.fa", self.UTF8_FASTA)
+        with pytest.raises(ValueError) as excinfo:
+            sniff_format(path)
+        assert isinstance(excinfo.value.__cause__, UnicodeDecodeError)
+
+    def test_ascii_files_unaffected(self, tmp_path):
+        path = _write_bytes(tmp_path, "in.seq", b">ACGT\n<ACGG\n")
+        pairs = read_seq_file(path)
+        assert [(p.pattern, p.text) for p in pairs] == [("ACGT", "ACGG")]
