@@ -143,6 +143,7 @@ BENCH_JSON_PR4 = RESULTS_DIR / "BENCH_pr4.json"
 BENCH_JSON_PR6 = RESULTS_DIR / "BENCH_pr6.json"
 BENCH_JSON_PR7 = RESULTS_DIR / "BENCH_pr7.json"
 BENCH_JSON_PR8 = RESULTS_DIR / "BENCH_pr8.json"
+BENCH_JSON_PR9 = RESULTS_DIR / "BENCH_pr9.json"
 
 
 def _bench_recorder(path: Path):
@@ -199,6 +200,12 @@ def bench_json_pr7():
 def bench_json_pr8():
     """Merge machine-readable results into ``BENCH_pr8.json``."""
     return _bench_recorder(BENCH_JSON_PR8)
+
+
+@pytest.fixture(scope="session")
+def bench_json_pr9():
+    """Merge machine-readable results into ``BENCH_pr9.json``."""
+    return _bench_recorder(BENCH_JSON_PR9)
 
 
 @pytest.fixture(scope="session")

@@ -7,6 +7,11 @@ derive silicon area from the macro inventory, and print the
 throughput-per-area frontier.  This is the analysis behind the paper's
 choice of one Aligner with 64 parallel sections.
 
+This single-chip sweep now has a fleet-scale successor:
+``repro-wfasic fleet sweep`` walks sections x k_max x *chip count* into
+a Pareto-frontier artifact, and ``repro-wfasic fleet plan`` inverts it
+under area/power budgets — see ``docs/fleet.md`` and ``repro.fleet``.
+
 Run:  python examples/design_space_exploration.py
 """
 

@@ -1,6 +1,6 @@
 """Command-line interface to the WFAsic reproduction.
 
-Ten subcommands cover the common flows:
+Eleven subcommands cover the common flows:
 
 * ``generate`` — write a synthetic ``.seq`` input set (a paper-named set
   or custom length/error parameters);
@@ -18,6 +18,12 @@ Ten subcommands cover the common flows:
   admission-control contract in ``docs/serving.md``);
 * ``submit`` — the scripting client for a running ``serve`` instance:
   submit a pairs file (or one inline pair) and print the responses;
+* ``fleet`` — multi-chip capacity planning and design-space exploration:
+  ``fleet plan`` inverts the model ("X pairs/s within Y mm² and Z watts
+  → chip count + configuration", simulation-verified) and ``fleet
+  sweep`` walks the sections × k_max × chip-count grid into a
+  Pareto-frontier artifact (the source of every number in
+  ``docs/fleet.md``);
 * ``metrics`` — pretty-print the metrics snapshot inside a manifest (or
   a bare snapshot file) written by ``batch --metrics``;
 * ``report`` — the ASIC (§5.2) or FPGA (§5.3) physical summary of a
@@ -58,6 +64,16 @@ from .engine import (
     backend_names,
     merge_batch_reports,
 )
+from .fleet import (
+    FLEET_POLICIES,
+    FleetBudget,
+    FleetConfig,
+    FleetScheduler,
+    SweepGrid,
+    plan_capacity,
+    run_sweep,
+    validate_fleet_sweep,
+)
 from .obs import (
     MetricsRegistry,
     RunManifest,
@@ -73,7 +89,7 @@ from .reporting import format_table
 from .serve import AlignmentServer, ServeClient, ServeConfig
 from .soc import Soc
 from .verify import EquivalenceChecker
-from .wfasic import WfasicConfig, asic_report
+from .wfasic import WfasicConfig, asic_report, configs_within_budget
 from .wfasic.fpga_model import U280, fpga_report
 from .workloads import (
     PairGenerator,
@@ -275,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline for requests that carry none",
     )
     srv.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="engine instances behind the shared queue (up to this many "
+        "batches in flight at once)",
+    )
+    srv.add_argument(
         "--ready-file",
         metavar="PATH",
         help="write 'host port' here once the socket is bound (scripting)",
@@ -321,6 +344,105 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--format", choices=("tsv", "json"), default="tsv")
     sbm.add_argument(
         "-o", "--output", help="write results to this file (default stdout)"
+    )
+
+    flt = sub.add_parser(
+        "fleet", help="multi-chip capacity planning and design-space sweep"
+    )
+    flt.add_argument(
+        "mode",
+        choices=("plan", "sweep"),
+        help="plan: minimal fleet meeting a rate within budgets; "
+        "sweep: Pareto sweep over sections x k_max x chip count",
+    )
+    flt.add_argument(
+        "--pairs-per-sec",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="plan: required throughput on the workload (required)",
+    )
+    flt.add_argument(
+        "--area",
+        type=float,
+        default=None,
+        metavar="MM2",
+        help="plan: total silicon budget in mm2 (default unconstrained)",
+    )
+    flt.add_argument(
+        "--power",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="plan: total power budget in W (default unconstrained)",
+    )
+    flt.add_argument(
+        "--no-host",
+        action="store_true",
+        help="plan: area budget covers bare accelerators, not full SoCs "
+        "(one Sargantana per chip)",
+    )
+    flt.add_argument(
+        "--set",
+        dest="named_set",
+        choices=input_set_names(),
+        default="100-10%",
+        help="workload input set",
+    )
+    flt.add_argument("-n", "--num-pairs", type=int, default=32)
+    flt.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=4,
+        help="pairs per routed micro-batch (batches are the unit of "
+        "cross-chip overlap)",
+    )
+    flt.add_argument(
+        "--policy",
+        choices=FLEET_POLICIES,
+        default="least-loaded",
+        help="fleet routing policy",
+    )
+    flt.add_argument(
+        "--max-chips",
+        type=int,
+        default=16,
+        help="plan: chip-count search ceiling",
+    )
+    flt.add_argument(
+        "--sections",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="PS",
+        help="parallel-section grid values (default 16 32 64 128)",
+    )
+    flt.add_argument(
+        "--k-max",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="k_max grid values (default 512 3998)",
+    )
+    flt.add_argument(
+        "--chips",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="sweep: chip-count grid values (default 1 2 4)",
+    )
+    flt.add_argument(
+        "-o",
+        "--output",
+        help="write the JSON artifact (plan or sweep document) here",
+    )
+    flt.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="plan: write a Chrome trace of the verification run with "
+        "per-chip lanes",
     )
 
     met = sub.add_parser(
@@ -694,6 +816,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_queue_depth=args.queue_depth,
             default_deadline_ms=args.deadline,
+            instances=args.instances,
         )
     except ValueError as exc:
         print(f"invalid serve configuration: {exc}", file=sys.stderr)
@@ -777,6 +900,120 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         print(doc)
     return 0 if all(r.get("ok") for r in responses) else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # A fresh registry scopes fleet_* counters to this invocation (the
+    # candidate-rating runs publish too; the artifact is the product).
+    set_registry(MetricsRegistry())
+    if args.mode == "plan":
+        return _cmd_fleet_plan(args)
+    return _cmd_fleet_sweep(args)
+
+
+def _cmd_fleet_plan(args: argparse.Namespace) -> int:
+    if args.pairs_per_sec is None:
+        print("fleet plan needs --pairs-per-sec", file=sys.stderr)
+        return 2
+    try:
+        budget = FleetBudget(
+            pairs_per_sec=args.pairs_per_sec,
+            area_mm2=args.area,
+            power_w=args.power,
+            include_host=not args.no_host,
+        )
+        configs = None
+        if args.sections or args.k_max:
+            configs = configs_within_budget(
+                area_budget_mm2=args.area,
+                power_budget_w=args.power,
+                parallel_sections=tuple(args.sections or (16, 32, 64, 128)),
+                k_max_values=tuple(args.k_max or (512, 3998)),
+                include_host=not args.no_host,
+            )
+        plan = plan_capacity(
+            budget,
+            workload=args.named_set,
+            num_pairs=args.num_pairs,
+            configs=configs,
+            batch_pairs=args.batch_pairs,
+            max_chips=args.max_chips,
+        )
+    except ValueError as exc:
+        print(f"invalid plan request: {exc}", file=sys.stderr)
+        return 2
+    print(plan.describe())
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            json.dump(plan.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote plan to {args.output}", file=sys.stderr)
+    if args.trace:
+        if not plan.feasible or plan.config is None:
+            print("no trace written: plan infeasible", file=sys.stderr)
+        else:
+            # Re-run just the verification fleet under the tracer so the
+            # trace holds one clean run (rating runs would overlap it).
+            tracer = Tracer()
+            previous = install_tracer(tracer)
+            try:
+                FleetScheduler(
+                    FleetConfig.uniform(
+                        plan.chips, plan.config, batch_pairs=args.batch_pairs
+                    )
+                ).run(make_input_set(args.named_set, args.num_pairs))
+            finally:
+                install_tracer(previous)
+            tracer.write(args.trace)
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
+    return 0 if plan.feasible else 1
+
+
+def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    try:
+        grid = SweepGrid(
+            parallel_sections=tuple(args.sections or (16, 32, 64, 128)),
+            k_max_values=tuple(args.k_max or (512, 3998)),
+            chip_counts=tuple(args.chips or (1, 2, 4)),
+        )
+        doc = run_sweep(
+            grid,
+            input_set=args.named_set,
+            num_pairs=args.num_pairs,
+            batch_pairs=args.batch_pairs,
+            policy=args.policy,
+        )
+    except ValueError as exc:
+        print(f"invalid sweep request: {exc}", file=sys.stderr)
+        return 2
+    validate_fleet_sweep(doc)
+    rows = [
+        [
+            f"{p['chips']} x 1x{p['parallel_sections']}PS",
+            p["k_max"],
+            round(p["soc_area_mm2"], 2),
+            round(p["power_w"] * 1e3),
+            f"{p['pairs_per_second']:,.0f}",
+            round(p["energy_per_pair_j"] * 1e9, 1),
+            "*" if p["on_frontier"] else ("FAIL" if p["failed_pairs"] else ""),
+        ]
+        for p in doc["points"]
+    ]
+    print(
+        format_table(
+            ["fleet", "k_max", "SoC mm2", "mW", "pairs/s", "nJ/pair", ""],
+            rows,
+            title=f"fleet sweep on {doc['workload']['input_set']} "
+            f"({doc['workload']['num_pairs']} pairs); "
+            f"* = Pareto frontier",
+        )
+    )
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote sweep artifact to {args.output}", file=sys.stderr)
+    return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -1010,6 +1247,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "fleet": _cmd_fleet,
         "metrics": _cmd_metrics,
         "report": _cmd_report,
         "stats": _cmd_stats,

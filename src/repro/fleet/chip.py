@@ -1,0 +1,140 @@
+"""One simulated WFAsic chip inside a fleet.
+
+A :class:`FleetChip` bundles everything the fleet scheduler needs to
+know about one accelerator instance: its architecture configuration
+(:class:`~repro.wfasic.WfasicConfig`), the physical estimate derived
+from it (:func:`~repro.wfasic.asic_report` — area, power, memory), a
+private :class:`~repro.soc.Soc` that actually executes batches, and the
+chip's position on the *simulated-cycle* timeline.
+
+Time model: every chip runs at the same §5.2 clock, so the fleet shares
+one simulated-cycle axis.  A chip executes its batches back to back;
+:attr:`ready_cycle` is the cycle at which its queue drains.  Routing a
+batch appends it at ``ready_cycle`` and advances the tail by the
+batch's end-to-end cycle count (driver + accelerator + backtrace, the
+same total a single-chip run reports), so the fleet *makespan* is simply
+``max(chip.ready_cycle)`` — no wall-clock anywhere, which keeps fleet
+results bit-reproducible.
+
+Memory: each chip owns a private main memory sized by
+``memory_bytes``.  The default is deliberately far below the single-SoC
+64 MB because :class:`~repro.soc.memory.MainMemory` eagerly allocates
+its backing ``bytearray`` and a sweep instantiates dozens of chips; a
+fleet batch image (tens of pairs at <= 10 kbp) fits comfortably in 8 MB.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..soc.soc import AcceleratedOutcome, Soc
+from ..wfasic.asic_model import AsicReport, asic_report
+from ..wfasic.config import WfasicConfig
+from ..wfasic.packets import round_up_read_len
+from ..workloads.generator import SequencePair
+
+__all__ = ["FleetChip", "DEFAULT_CHIP_MEMORY_BYTES", "chip_trace_tid_base"]
+
+#: Default per-chip main memory (see the module docstring).
+DEFAULT_CHIP_MEMORY_BYTES = 8 * 1024 * 1024
+
+#: Trace-lane stride between chips on the simulated-cycle timeline:
+#: chip ``i`` owns tids ``1000 * (i + 1) ..`` inside the WFAsic trace
+#: process, clear of the single-chip lanes (extractor 0, aligners 1+,
+#: collector 999).
+_CHIP_TID_STRIDE = 1000
+
+
+def chip_trace_tid_base(index: int) -> int:
+    """The trace thread-id base of chip ``index`` (see module docs)."""
+    if index < 0:
+        raise ValueError("chip index must be >= 0")
+    return _CHIP_TID_STRIDE * (index + 1)
+
+
+class FleetChip:
+    """One WFAsic instance of a fleet: config + physicals + its own SoC."""
+
+    def __init__(
+        self,
+        index: int,
+        config: WfasicConfig,
+        *,
+        memory_bytes: int = DEFAULT_CHIP_MEMORY_BYTES,
+    ) -> None:
+        if index < 0:
+            raise ValueError("chip index must be >= 0")
+        self.index = index
+        self.config = config
+        #: GF22FDX physical estimate of this configuration.
+        self.report: AsicReport = asic_report(config)
+        self.soc = Soc(config, memory_bytes=memory_bytes)
+        #: Simulated cycle at which this chip's batch queue drains.
+        self.ready_cycle = 0
+        #: Total cycles this chip spent executing batches.
+        self.busy_cycles = 0
+        #: Pairs routed to this chip so far.
+        self.pairs_routed = 0
+        #: Batches executed so far.
+        self.batches = 0
+        #: Bases seen so far (cost-estimator history).
+        self._bases_seen = 0
+
+    # -- capability ------------------------------------------------------
+
+    def supports(self, pairs: Sequence[SequencePair]) -> bool:
+        """Whether this chip can accept a batch (read-length capability).
+
+        A batch's input image is built at the batch's rounded-up maximum
+        read length (§4.2); the chip accepts it only when that fits its
+        configured ``max_read_len``.  Score capability (``k_max``) is
+        *not* gated here — the hardware accepts any supported-length pair
+        and clears the Success flag when the score budget runs out, and
+        the fleet reproduces exactly that behaviour.
+        """
+        longest = max((p.max_length for p in pairs), default=1)
+        return round_up_read_len(longest) <= self.config.max_read_len
+
+    # -- routing cost model ----------------------------------------------
+
+    def estimate_cycles(self, pairs: Sequence[SequencePair]) -> int:
+        """Deterministic integer cost estimate for routing ``pairs`` here.
+
+        The scheduler needs a forecast *before* simulating: the estimate
+        scales the chip's observed cycles-per-base history to the batch's
+        base count (integer arithmetic, so routing decisions are
+        platform-independent).  Before any history exists the raw base
+        count is used — every chip starts from the same optimistic prior,
+        so the first batches spread across the fleet.
+        """
+        bases = sum(len(p.pattern) + len(p.text) for p in pairs)
+        if self._bases_seen:
+            return bases * self.busy_cycles // self._bases_seen
+        return bases
+
+    # -- execution -------------------------------------------------------
+
+    def run_batch(
+        self, pairs: list[SequencePair], *, backtrace: bool = False
+    ) -> tuple[int, AcceleratedOutcome]:
+        """Execute one batch; returns ``(start_cycle, outcome)``.
+
+        The batch is appended at :attr:`ready_cycle`; when a tracer is
+        installed its schedule lands on this chip's own trace lanes,
+        anchored at the batch's fleet-wide start cycle so the Perfetto
+        timeline shows the true overlap across chips.
+        """
+        start = self.ready_cycle
+        outcome = self.soc.run_accelerated(
+            pairs,
+            backtrace=backtrace,
+            trace_tid_base=chip_trace_tid_base(self.index),
+            trace_lane_prefix=f"chip {self.index} · ",
+            trace_base_cycle=start,
+        )
+        self.ready_cycle = start + outcome.total_cycles
+        self.busy_cycles += outcome.total_cycles
+        self.pairs_routed += len(pairs)
+        self.batches += 1
+        self._bases_seen += sum(len(p.pattern) + len(p.text) for p in pairs)
+        return start, outcome

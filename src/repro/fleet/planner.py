@@ -1,0 +1,339 @@
+"""Capacity planning: invert the fleet model under area/power budgets.
+
+The forward direction (scheduler + DSE sweep) answers "what does this
+fleet deliver?"; the planner answers the operator's question — *"I need
+X pairs/s within Y mm² and Z watts: how many chips, in what
+configuration?"* — by searching chip counts ascending and configurations
+by predicted rate:
+
+1. **Candidates** — configurations enumerated by
+   :func:`repro.wfasic.asic_model.configs_within_budget` (or supplied by
+   the caller), each rated by simulating a *single* chip on the target
+   workload.  Configurations that cannot serve the workload at all
+   (reads longer than ``max_read_len``, or any failed pair) are dropped.
+2. **Selection** — :func:`select_plan`, a pure function over
+   ``(rate, area, power)`` triples: the minimal chip count at which some
+   candidate meets the target rate inside both budgets, ties broken by
+   total area then total power.  Predicted fleet rate is
+   ``chips x single-chip rate x derate`` — the derate (default 0.9)
+   charges for scheduling imbalance ahead of time.
+3. **Verification** — the selected fleet is *actually simulated* on the
+   workload.  If the simulation misses the target the search resumes at
+   the next chip count, so a returned feasible plan is always backed by
+   a simulated run that meets the rate within the budgets.
+
+``select_plan`` is deliberately simulation-free so its invariants (a
+returned plan satisfies every budget; no smaller chip count admits any
+feasible candidate) are property-testable in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..wfasic.asic_model import asic_report, configs_within_budget
+from ..wfasic.config import WfasicConfig
+from ..workloads.datasets import make_input_set
+from ..workloads.generator import SequencePair
+from .scheduler import FleetConfig, FleetResult, FleetScheduler
+
+__all__ = [
+    "FleetBudget",
+    "PlanCandidate",
+    "SelectedPlan",
+    "select_plan",
+    "CapacityPlan",
+    "rate_candidates",
+    "plan_capacity",
+]
+
+#: Predicted-rate safety factor: the planner only promises this fraction
+#: of linear scaling, charging for scheduling imbalance ahead of time.
+DEFAULT_DERATE = 0.9
+
+
+@dataclass(frozen=True)
+class FleetBudget:
+    """The operator's question: a target rate inside physical budgets."""
+
+    #: Required throughput on the target workload.
+    pairs_per_sec: float
+    #: Total silicon budget (mm²), or ``None`` for unconstrained.
+    area_mm2: float | None = None
+    #: Total power budget (W), or ``None`` for unconstrained.
+    power_w: float | None = None
+    #: Whether the area budget covers one Sargantana host per chip
+    #: (the ~3 mm² SoC of §1) or the bare accelerator silicon.
+    include_host: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pairs_per_sec <= 0:
+            raise ValueError("pairs_per_sec must be > 0")
+        if self.area_mm2 is not None and self.area_mm2 <= 0:
+            raise ValueError("area_mm2 must be > 0 (or None)")
+        if self.power_w is not None and self.power_w <= 0:
+            raise ValueError("power_w must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One configuration rated for planning: per-chip rate and physicals."""
+
+    config: WfasicConfig
+    #: Simulated single-chip throughput on the target workload.
+    rate_pairs_per_sec: float
+    #: Per-chip area under the budget's host convention.
+    area_mm2: float
+    #: Per-chip accelerator power.
+    power_w: float
+
+
+@dataclass(frozen=True)
+class SelectedPlan:
+    """A budget-feasible selection (prediction only, not yet simulated)."""
+
+    candidate: PlanCandidate
+    chips: int
+    predicted_rate: float
+    total_area_mm2: float
+    total_power_w: float
+
+
+def select_plan(
+    candidates: list[PlanCandidate],
+    budget: FleetBudget,
+    *,
+    min_chips: int = 1,
+    max_chips: int = 64,
+    derate: float = DEFAULT_DERATE,
+) -> SelectedPlan | None:
+    """The pure selection core: minimal chip count meeting the budget.
+
+    Scans chip counts from ``min_chips`` to ``max_chips``; at the first
+    count where any candidate's predicted fleet rate
+    (``chips x rate x derate``) reaches the target inside both budgets,
+    returns the feasible candidate with the smallest total area (then
+    total power, then the candidate's listed order).  ``None`` when no
+    count admits a feasible candidate.
+    """
+    if min_chips < 1:
+        raise ValueError("min_chips must be >= 1")
+    if not 0 < derate <= 1:
+        raise ValueError("derate must be in (0, 1]")
+    for chips in range(min_chips, max_chips + 1):
+        feasible: list[tuple[float, float, int, SelectedPlan]] = []
+        for order, cand in enumerate(candidates):
+            area = chips * cand.area_mm2
+            power = chips * cand.power_w
+            if budget.area_mm2 is not None and area > budget.area_mm2:
+                continue
+            if budget.power_w is not None and power > budget.power_w:
+                continue
+            rate = chips * cand.rate_pairs_per_sec * derate
+            if rate < budget.pairs_per_sec:
+                continue
+            feasible.append(
+                (area, power, order,
+                 SelectedPlan(cand, chips, rate, area, power))
+            )
+        if feasible:
+            return min(feasible, key=lambda row: row[:3])[3]
+    return None
+
+
+@dataclass
+class CapacityPlan:
+    """The planner's answer, backed by a simulated verification run."""
+
+    feasible: bool
+    budget: FleetBudget
+    chips: int
+    config: WfasicConfig | None
+    predicted_pairs_per_second: float
+    simulated_pairs_per_second: float
+    total_area_mm2: float
+    total_power_w: float
+    candidates_considered: int
+    workload: str
+    num_pairs: int
+    result: FleetResult | None
+
+    def as_dict(self) -> dict:
+        """JSON-ready plan document (the CLI ``-o`` payload)."""
+        return {
+            "kind": "fleet_plan",
+            "feasible": self.feasible,
+            "budget": {
+                "pairs_per_sec": self.budget.pairs_per_sec,
+                "area_mm2": self.budget.area_mm2,
+                "power_w": self.budget.power_w,
+                "include_host": self.budget.include_host,
+            },
+            "chips": self.chips,
+            "config": None if self.config is None else {
+                "num_aligners": self.config.num_aligners,
+                "parallel_sections": self.config.parallel_sections,
+                "k_max": self.config.k_max,
+                "max_read_len": self.config.max_read_len,
+            },
+            "predicted_pairs_per_second": self.predicted_pairs_per_second,
+            "simulated_pairs_per_second": self.simulated_pairs_per_second,
+            "total_area_mm2": self.total_area_mm2,
+            "total_power_w": self.total_power_w,
+            "candidates_considered": self.candidates_considered,
+            "workload": self.workload,
+            "num_pairs": self.num_pairs,
+            "fleet": None if self.result is None else self.result.as_dict(),
+        }
+
+    def describe(self) -> str:
+        """Human-readable plan summary (the CLI's stdout block)."""
+        b = self.budget
+        budget_bits = [f"{b.pairs_per_sec:,.0f} pairs/s"]
+        if b.area_mm2 is not None:
+            host = "SoC" if b.include_host else "accelerator"
+            budget_bits.append(f"<= {b.area_mm2:g} mm2 {host}")
+        if b.power_w is not None:
+            budget_bits.append(f"<= {b.power_w:g} W")
+        lines = [f"budget: {', '.join(budget_bits)} on {self.workload} "
+                 f"({self.num_pairs} pairs)"]
+        if not self.feasible or self.config is None:
+            lines.append(
+                f"INFEASIBLE: no configuration meets the target within the "
+                f"budgets ({self.candidates_considered} candidate(s) "
+                "considered)"
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"plan: {self.chips} chip(s) x "
+            f"{self.config.num_aligners}x{self.config.parallel_sections}PS "
+            f"(k_max {self.config.k_max}, {self.config.max_read_len} bp) -> "
+            f"{self.total_area_mm2:.2f} mm2, {self.total_power_w * 1e3:.0f} mW"
+        )
+        lines.append(
+            f"throughput: predicted {self.predicted_pairs_per_second:,.0f} "
+            f"pairs/s, simulated {self.simulated_pairs_per_second:,.0f} pairs/s"
+        )
+        return "\n".join(lines)
+
+
+def rate_candidates(
+    configs: list[WfasicConfig],
+    pairs: list[SequencePair],
+    *,
+    include_host: bool = True,
+    batch_pairs: int = 4,
+) -> list[PlanCandidate]:
+    """Rate each configuration by simulating one chip on the workload.
+
+    Configurations that cannot serve the workload — any unroutable or
+    failed pair — are dropped: a plan must serve *every* pair of the
+    target mix, not a lucky subset.
+    """
+    candidates: list[PlanCandidate] = []
+    for config in configs:
+        result = FleetScheduler(
+            FleetConfig(chips=(config,), batch_pairs=batch_pairs)
+        ).run(pairs)
+        if result.failed_pairs:
+            continue
+        report = asic_report(config)
+        candidates.append(
+            PlanCandidate(
+                config=config,
+                rate_pairs_per_sec=result.pairs_per_second,
+                area_mm2=(
+                    report.soc_area_mm2 if include_host else report.total_area_mm2
+                ),
+                power_w=report.power_w,
+            )
+        )
+    return candidates
+
+
+def plan_capacity(
+    budget: FleetBudget,
+    *,
+    workload: str = "100-10%",
+    num_pairs: int = 32,
+    pairs: list[SequencePair] | None = None,
+    configs: list[WfasicConfig] | None = None,
+    batch_pairs: int = 4,
+    max_chips: int = 16,
+    derate: float = DEFAULT_DERATE,
+) -> CapacityPlan:
+    """Answer a :class:`FleetBudget` with a simulation-verified plan.
+
+    ``pairs`` overrides the named ``workload``; ``configs`` overrides
+    the default budget-constrained enumeration.  The returned plan is
+    feasible only if its fleet, actually simulated on the workload,
+    meets the target rate — the selection loop walks chip counts upward
+    until simulation confirms or the search space is exhausted.  The
+    verification can only exercise as many chips as the workload has
+    micro-batches (``num_pairs / batch_pairs``); very high targets need
+    a proportionally larger ``num_pairs`` to validate large fleets.
+    """
+    if pairs is None:
+        pairs = make_input_set(workload, num_pairs)
+    else:
+        workload = f"custom ({len(pairs)} pairs)"
+    if configs is None:
+        configs = configs_within_budget(
+            area_budget_mm2=budget.area_mm2,
+            power_budget_w=budget.power_w,
+            include_host=budget.include_host,
+        )
+    candidates = rate_candidates(
+        configs, pairs, include_host=budget.include_host,
+        batch_pairs=batch_pairs,
+    )
+
+    infeasible = CapacityPlan(
+        feasible=False,
+        budget=budget,
+        chips=0,
+        config=None,
+        predicted_pairs_per_second=0.0,
+        simulated_pairs_per_second=0.0,
+        total_area_mm2=0.0,
+        total_power_w=0.0,
+        candidates_considered=len(candidates),
+        workload=workload,
+        num_pairs=len(pairs),
+        result=None,
+    )
+    min_chips = 1
+    while True:
+        selected = select_plan(
+            candidates, budget,
+            min_chips=min_chips, max_chips=max_chips, derate=derate,
+        )
+        if selected is None:
+            return infeasible
+        fleet = FleetScheduler(
+            FleetConfig.uniform(
+                selected.chips, selected.candidate.config,
+                batch_pairs=batch_pairs,
+            )
+        ).run(pairs)
+        if (
+            fleet.pairs_per_second >= budget.pairs_per_sec
+            and not fleet.failed_pairs
+        ):
+            return CapacityPlan(
+                feasible=True,
+                budget=budget,
+                chips=selected.chips,
+                config=selected.candidate.config,
+                predicted_pairs_per_second=selected.predicted_rate,
+                simulated_pairs_per_second=fleet.pairs_per_second,
+                total_area_mm2=selected.total_area_mm2,
+                total_power_w=selected.total_power_w,
+                candidates_considered=len(candidates),
+                workload=workload,
+                num_pairs=len(pairs),
+                result=fleet,
+            )
+        min_chips = selected.chips + 1
+        if min_chips > max_chips:
+            return infeasible

@@ -1,7 +1,12 @@
 """Performance metrics: GCUPS and speedups (§5.5)."""
 
 from .analysis import BatchAnalysis, analyse_batch
-from .energy import EnergyRow, TABLE_ENERGY_ROWS, energy_per_alignment_j
+from .energy import (
+    EnergyRow,
+    TABLE_ENERGY_ROWS,
+    active_energy_j,
+    energy_per_alignment_j,
+)
 from .cups import (
     TABLE2_REFERENCE_ROWS,
     PlatformRow,
@@ -17,6 +22,7 @@ __all__ = [
     "TABLE_ENERGY_ROWS",
     "PlatformRow",
     "TABLE2_REFERENCE_ROWS",
+    "active_energy_j",
     "analyse_batch",
     "energy_per_alignment_j",
     "gcups",

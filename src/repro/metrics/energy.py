@@ -17,7 +17,12 @@ from dataclasses import dataclass
 
 from .cups import TABLE2_REFERENCE_ROWS
 
-__all__ = ["EnergyRow", "energy_per_alignment_j", "TABLE_ENERGY_ROWS"]
+__all__ = [
+    "EnergyRow",
+    "energy_per_alignment_j",
+    "active_energy_j",
+    "TABLE_ENERGY_ROWS",
+]
 
 #: Published power draws (W) for the Table 2 platforms.
 _PLATFORM_POWER_W = {
@@ -52,6 +57,23 @@ def energy_per_alignment_j(power_w: float, gcups: float, cells: int = 10**8) -> 
         raise ValueError("power and GCUPS must be > 0")
     seconds = cells / (gcups * 1e9)
     return power_w * seconds
+
+
+def active_energy_j(power_w: float, cycles: int, frequency_hz: float) -> float:
+    """Active energy (J) of ``cycles`` busy cycles at ``frequency_hz``.
+
+    The fleet layer's accounting: a chip draws its post-PnR power while
+    executing and is charged nothing while idle — an accelerator-side
+    figure that deliberately excludes host and idle power (documented in
+    ``docs/fleet.md``).  Zero cycles cost zero joules.
+    """
+    if power_w <= 0:
+        raise ValueError("power must be > 0")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be > 0")
+    if cycles < 0:
+        raise ValueError("cycles must be >= 0")
+    return power_w * cycles / frequency_hz
 
 
 def TABLE_ENERGY_ROWS(

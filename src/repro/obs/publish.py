@@ -27,6 +27,7 @@ __all__ = [
     "publish_accelerator_batch",
     "publish_cpu_cycles",
     "publish_asic_report",
+    "publish_fleet_result",
 ]
 
 
@@ -70,6 +71,9 @@ def publish_accelerator_batch(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     base_us: float | None = None,
+    tid_base: int = 0,
+    lane_prefix: str = "",
+    base_cycle: int | None = None,
 ) -> None:
     """Publish one simulator :class:`~repro.wfasic.BatchResult`.
 
@@ -82,6 +86,13 @@ def publish_accelerator_batch(
     inside the span — the simulator records totals, not a per-step
     timeline), and the Collector output drain.  ``base_us`` anchors
     cycle 0 on the wall clock; it defaults to "now".
+
+    Fleet runs give each chip its own lanes on the one simulated-cycle
+    timeline: ``tid_base`` offsets every track id (chip ``i`` uses
+    ``1000 * (i + 1)``), ``lane_prefix`` labels the tracks ("chip 0 · "),
+    and ``base_cycle`` anchors the batch at its *simulated* start cycle
+    instead of the wall clock — so Perfetto shows the true cross-chip
+    overlap (``base_us`` is then ignored).
     """
     reg = registry or get_registry()
     cycles = reg.counter(
@@ -111,22 +122,29 @@ def publish_accelerator_batch(
     tr = tracer or get_tracer()
     if tr is None:
         return
-    base = tr.now_us() if base_us is None else base_us
-    tr.name_thread(2, 0, "extractor / input path")
+    if base_cycle is not None:
+        base = tr.cycles_to_us(base_cycle)
+    else:
+        base = tr.now_us() if base_us is None else base_us
+    tr.name_thread(2, tid_base, f"{lane_prefix}extractor / input path")
     runs_by_id = {run.alignment_id: run for run in batch.runs}
     for sched in batch.schedule:
-        tr.name_thread(2, 1 + sched.aligner_index, f"aligner {sched.aligner_index}")
+        tr.name_thread(
+            2,
+            tid_base + 1 + sched.aligner_index,
+            f"{lane_prefix}aligner {sched.aligner_index}",
+        )
         tr.cycle_span(
             f"read pair {sched.alignment_id}",
             "wfasic:extractor",
             base,
             sched.read_start,
             sched.read_end,
-            tid=0,
+            tid=tid_base,
             args={"alignment_id": sched.alignment_id},
         )
         run = runs_by_id[sched.alignment_id]
-        tid = 1 + sched.aligner_index
+        tid = tid_base + 1 + sched.aligner_index
         tr.cycle_span(
             f"align pair {sched.alignment_id}",
             "wfasic:aligner",
@@ -161,14 +179,16 @@ def publish_accelerator_batch(
                 )
                 at += stage_cycles
     if batch.output_cycles:
-        tr.name_thread(2, COLLECTOR_TID, "collector / output path")
+        tr.name_thread(
+            2, tid_base + COLLECTOR_TID, f"{lane_prefix}collector / output path"
+        )
         tr.cycle_span(
             "drain results",
             "wfasic:collector",
             base,
             0,
             batch.output_cycles,
-            tid=COLLECTOR_TID,
+            tid=tid_base + COLLECTOR_TID,
             args={"transactions": batch.output.num_transactions},
         )
 
@@ -201,3 +221,36 @@ def publish_asic_report(
     reg.gauge(
         "wfasic_asic_memory_macros", "Register-file macro count"
     ).set(report.inventory.total_macros)
+
+
+def publish_fleet_result(
+    result: Any, registry: MetricsRegistry | None = None
+) -> None:
+    """Publish one fleet run (:class:`~repro.fleet.FleetResult`).
+
+    Fleet-aggregate counters plus per-chip busy cycles labelled by chip
+    index; the per-chip trace lanes are emitted by the accelerator
+    batches themselves (``publish_accelerator_batch`` with a per-chip
+    ``tid_base``), not here.
+    """
+    reg = registry or get_registry()
+    reg.gauge("fleet_chips", "Simulated chips in the fleet").set(
+        len(result.chips)
+    )
+    reg.counter(
+        "fleet_pairs_total", "Pairs routed through the fleet"
+    ).inc(result.num_pairs - result.unroutable)
+    reg.counter(
+        "fleet_unroutable_total", "Pairs no chip could accept"
+    ).inc(result.unroutable)
+    reg.counter(
+        "fleet_batches_total", "Micro-batches dispatched to chips"
+    ).inc(result.batches)
+    reg.counter(
+        "fleet_makespan_cycles_total", "Fleet makespans, summed"
+    ).inc(result.makespan_cycles)
+    busy = reg.counter(
+        "fleet_busy_cycles_total", "Simulated busy cycles per chip"
+    )
+    for chip in result.chips:
+        busy.inc(chip.busy_cycles, {"chip": str(chip.index)})

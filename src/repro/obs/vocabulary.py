@@ -48,6 +48,13 @@ METRIC_NAMES = frozenset({
     "serve_request_latency_seconds",
     "serve_batch_size",
     "serve_queue_depth",
+    # fleet scheduler (publish_fleet_result)
+    "fleet_chips",
+    "fleet_pairs_total",
+    "fleet_unroutable_total",
+    "fleet_batches_total",
+    "fleet_makespan_cycles_total",
+    "fleet_busy_cycles_total",
     # accelerator simulator (publish_accelerator_batch)
     "wfasic_cycles_total",
     "wfasic_makespan_cycles_total",
@@ -70,4 +77,5 @@ LABEL_KEYS = frozenset({
     "stage",    # *_stage_* and wfasic_cycles_total — pipeline stage
     "success",  # wfasic_alignments_total — hardware Success flag
     "kind",     # soc_cpu_cycles_total / serve_* — activity or request kind
+    "chip",     # fleet_busy_cycles_total — chip index inside a fleet
 })

@@ -39,7 +39,8 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from contextlib import suppress
+from typing import Any, Sequence
 
 from ..engine.engine import BatchAlignmentEngine, BatchReport, merge_batch_reports
 from ..obs.metrics import MetricsRegistry, get_registry
@@ -84,12 +85,19 @@ class ServeConfig:
     default_deadline_ms:
         Deadline applied to requests that carry none; ``None`` means
         such requests never expire in the queue.
+    instances:
+        Engine instances behind the shared queue.  ``1`` (default)
+        dispatches batches strictly one at a time; ``N > 1`` keeps up
+        to ``N`` batches in flight, one per engine — an engine is not
+        thread-safe, so each holds at most one batch — the same
+        multi-chip shape :mod:`repro.fleet` simulates in cycles.
     """
 
     batch_window: float = 0.002
     max_batch: int = 64
     max_queue_depth: int = 1024
     default_deadline_ms: float | None = None
+    instances: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -100,6 +108,8 @@ class ServeConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
             raise ValueError("default_deadline_ms must be > 0 (or None)")
+        if self.instances < 1:
+            raise ValueError("instances must be >= 1")
 
 
 @dataclass
@@ -126,12 +136,21 @@ class MicroBatcher:
 
     def __init__(
         self,
-        engine: BatchAlignmentEngine,
+        engine: BatchAlignmentEngine | Sequence[BatchAlignmentEngine],
         config: ServeConfig | None = None,
         *,
         registry: MetricsRegistry | None = None,
     ) -> None:
-        self.engine = engine
+        engines = (
+            list(engine) if isinstance(engine, (list, tuple)) else [engine]
+        )
+        if not engines:
+            raise ValueError("MicroBatcher needs at least one engine")
+        #: Engine instances behind the shared queue; at most one batch
+        #: is in flight per engine at any moment.
+        self.engines: list[BatchAlignmentEngine] = engines
+        #: The first engine — the whole pool on the single-instance path.
+        self.engine = engines[0]
         self.config = config or ServeConfig()
         self._registry = registry
         self._queue: deque[_Pending] = deque()
@@ -244,6 +263,9 @@ class MicroBatcher:
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        if len(self.engines) > 1:
+            await self._run_multi(loop)
+            return
         while True:
             if not self._queue:
                 if self._draining:
@@ -257,6 +279,64 @@ class MicroBatcher:
                 for _ in range(min(len(self._queue), self.config.max_batch))
             ]
             await self._dispatch(loop, batch)
+
+    async def _run_multi(self, loop: asyncio.AbstractEventLoop) -> None:
+        """The multi-instance loop: one in-flight batch per engine.
+
+        The single-engine loop above awaits each dispatch inline; here a
+        formed batch goes to any idle engine as its own task and the
+        loop immediately returns to batch formation, so up to
+        ``len(self.engines)`` batches overlap.  With every engine busy
+        the loop blocks on the first completion — queue-depth
+        backpressure then works exactly as before.  Drain waits for all
+        in-flight tasks, so the graceful-drain contract (every admitted
+        request gets a real answer) is unchanged.
+        """
+        inflight: dict[int, "asyncio.Task[None]"] = {}
+        try:
+            while True:
+                for idx, task in list(inflight.items()):
+                    if task.done():
+                        del inflight[idx]
+                        task.result()
+                if not self._queue:
+                    if self._draining:
+                        return
+                    self._wake.clear()
+                    if inflight:
+                        wake = loop.create_task(self._wake.wait())
+                        await asyncio.wait(
+                            {wake, *inflight.values()},
+                            return_when=asyncio.FIRST_COMPLETED,
+                        )
+                        wake.cancel()
+                        with suppress(asyncio.CancelledError):
+                            await wake
+                    else:
+                        await self._wake.wait()
+                    continue
+                idle = [
+                    i for i in range(len(self.engines)) if i not in inflight
+                ]
+                if not idle:
+                    await asyncio.wait(
+                        set(inflight.values()),
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    continue
+                await self._fill_window(loop)
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(
+                        min(len(self._queue), self.config.max_batch)
+                    )
+                ]
+                inflight[idle[0]] = loop.create_task(
+                    self._dispatch(loop, batch, engine=self.engines[idle[0]])
+                )
+        finally:
+            if inflight:
+                await asyncio.gather(*inflight.values())
 
     async def _fill_window(self, loop: asyncio.AbstractEventLoop) -> None:
         """Hold the batch open for ``batch_window`` or until it fills."""
@@ -274,8 +354,12 @@ class MicroBatcher:
                 return
 
     async def _dispatch(
-        self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]
+        self,
+        loop: asyncio.AbstractEventLoop,
+        batch: list[_Pending],
+        engine: BatchAlignmentEngine | None = None,
     ) -> None:
+        engine = engine or self.engine
         registry = self._registry or get_registry()
         tracer = get_tracer()
         start = time.perf_counter()
@@ -308,7 +392,7 @@ class MicroBatcher:
             pairs = [(p.request.pattern, p.request.text) for p in live]
             try:
                 result = await loop.run_in_executor(
-                    None, self.engine.align_batch, pairs
+                    None, engine.align_batch, pairs
                 )
             except Exception as exc:  # noqa: BLE001 — the serving boundary
                 # Strict engines raise; a server must keep serving, so

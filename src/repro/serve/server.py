@@ -71,6 +71,9 @@ class AlignmentServer:
         self.port = port
         self._registry = registry
         self.engine: BatchAlignmentEngine | None = None
+        #: All engine instances (``serve_config.instances`` of them);
+        #: ``engine`` aliases the first for back-compatibility.
+        self.engines: list[BatchAlignmentEngine] = []
         self.batcher: MicroBatcher | None = None
         self._server: asyncio.AbstractServer | None = None
         self._closed: "asyncio.Event | None" = None
@@ -87,10 +90,14 @@ class AlignmentServer:
         return (host, port)
 
     async def start(self) -> None:
-        """Create the engine, start the batcher loop, bind the socket."""
-        self.engine = BatchAlignmentEngine(self.engine_config)
+        """Create the engine(s), start the batcher loop, bind the socket."""
+        self.engines = [
+            BatchAlignmentEngine(self.engine_config)
+            for _ in range(self.serve_config.instances)
+        ]
+        self.engine = self.engines[0]
         self.batcher = MicroBatcher(
-            self.engine, self.serve_config, registry=self._registry
+            self.engines, self.serve_config, registry=self._registry
         )
         self.batcher.start()
         self._closed = asyncio.Event()
@@ -108,11 +115,11 @@ class AlignmentServer:
             await self._server.wait_closed()
         if self.batcher is not None:
             await self.batcher.drain()
-        if self.engine is not None:
+        for engine in self.engines:
             # close() joins the pool and unlinks the arena — blocking
             # work that belongs off the event loop.
             await asyncio.get_running_loop().run_in_executor(
-                None, self.engine.close
+                None, engine.close
             )
         if self._closed is not None:
             self._closed.set()

@@ -97,13 +97,19 @@ class Soc:
         *,
         backtrace: bool | None = None,
         separate: bool | None = None,
+        trace_tid_base: int = 0,
+        trace_lane_prefix: str = "",
+        trace_base_cycle: int | None = None,
     ) -> AcceleratedOutcome:
         """Fig. 4: CPU stages inputs, WFAsic aligns, CPU backtraces.
 
         ``backtrace`` defaults to the SoC configuration; ``separate``
         picks the CPU backtrace method and defaults to the §4.5 rule:
         separation only when more than one Aligner interleaves the
-        stream.
+        stream.  The three ``trace_*`` knobs pass through to
+        :func:`~repro.obs.publish.publish_accelerator_batch` so fleet
+        runs can give each chip its own trace lanes anchored at the
+        batch's simulated start cycle.
         """
         bt = self.config.backtrace if backtrace is None else backtrace
         if separate is None:
@@ -121,7 +127,12 @@ class Soc:
         # Cycle-stage counters (and, when tracing, the batch schedule on
         # the simulated timeline); CPU-side cycles publish from the
         # SargantanaModel conversion methods themselves.
-        publish_accelerator_batch(batch)
+        publish_accelerator_batch(
+            batch,
+            tid_base=trace_tid_base,
+            lane_prefix=trace_lane_prefix,
+            base_cycle=trace_base_cycle,
+        )
         register_accesses = (
             self.driver.axi_lite.reads + self.driver.axi_lite.writes
         ) - accesses_before

@@ -30,6 +30,7 @@ from .asic_model import (
     AsicReport,
     MacroInventory,
     asic_report,
+    configs_within_budget,
 )
 from .backtrace_cpu import (
     BacktraceStreamError,
@@ -87,6 +88,7 @@ __all__ = [
     "WfasicAccelerator",
     "WfasicConfig",
     "asic_report",
+    "configs_within_budget",
     "fpga_report",
     "max_efficient_aligners",
     "read_pair_cycles",

@@ -33,6 +33,7 @@ __all__ = [
     "MacroInventory",
     "AsicReport",
     "asic_report",
+    "configs_within_budget",
     "SARGANTANA_AREA_MM2",
     "SARGANTANA_FREQUENCY_HZ",
 ]
@@ -163,3 +164,48 @@ def asic_report(config: WfasicConfig) -> AsicReport:
 
     publish_asic_report(report)
     return report
+
+
+def configs_within_budget(
+    *,
+    area_budget_mm2: float | None = None,
+    power_budget_w: float | None = None,
+    parallel_sections: tuple[int, ...] = (16, 32, 64, 128),
+    k_max_values: tuple[int, ...] = (512, 3998),
+    max_read_len: int = 10_000,
+    include_host: bool = True,
+) -> list[WfasicConfig]:
+    """Enumerate single-Aligner configurations fitting physical budgets.
+
+    The fleet capacity planner's candidate generator: walks the
+    (parallel sections × ``k_max``) grid — the two axes that set the
+    macro inventory and therefore area and power — and keeps every
+    configuration whose *single-chip* physical estimate fits both
+    budgets (``None`` budgets are unconstrained).  ``include_host``
+    charges the area budget one Sargantana core per chip
+    (:attr:`AsicReport.soc_area_mm2`), the §1 SoC convention; power
+    budgets are always accelerator-side, matching the paper's 312 mW
+    measurement scope.
+
+    Deterministic order: ascending sections, then ascending ``k_max``.
+    A configuration too large for the budgets at one chip is excluded
+    outright — no fleet of it can fit either.
+    """
+    configs: list[WfasicConfig] = []
+    for sections in sorted(set(parallel_sections)):
+        for k_max in sorted(set(k_max_values)):
+            config = WfasicConfig(
+                num_aligners=1,
+                parallel_sections=sections,
+                max_read_len=max_read_len,
+                k_max=k_max,
+                backtrace=False,
+            )
+            report = asic_report(config)
+            area = report.soc_area_mm2 if include_host else report.total_area_mm2
+            if area_budget_mm2 is not None and area > area_budget_mm2:
+                continue
+            if power_budget_w is not None and report.power_w > power_budget_w:
+                continue
+            configs.append(config)
+    return configs

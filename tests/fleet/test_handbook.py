@@ -1,0 +1,98 @@
+"""The handbook's promise: every number traces to the committed artifact."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    WORKED_BUDGETS,
+    best_point_for_budget,
+    render_handbook_sections,
+    run_sweep,
+    validate_fleet_sweep,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+ARTIFACT = REPO_ROOT / "docs" / "data" / "fleet_sweep.json"
+HANDBOOK = REPO_ROOT / "docs" / "fleet.md"
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestCommittedArtifact:
+    def test_exists_and_validates(self, doc):
+        validate_fleet_sweep(doc)
+        assert doc["workload"]["input_set"] == "100-10%"
+
+    def test_reproduces_from_the_default_sweep(self, doc):
+        """The artifact is exactly `repro-wfasic fleet sweep`'s output.
+
+        This is the determinism contract docs/fleet.md leans on: anyone
+        can regenerate the committed numbers from a clean checkout.
+        """
+        assert run_sweep() == doc
+
+
+class TestHandbookSync:
+    def test_generated_sections_are_current(self, doc):
+        """docs/fleet.md == its own regeneration from the artifact."""
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from sync_fleet_docs import render_handbook
+        finally:
+            sys.path.pop(0)
+        text = HANDBOOK.read_text()
+        assert render_handbook(text) == text
+
+    def test_sections_carry_artifact_numbers(self, doc):
+        sections = render_handbook_sections(doc)
+        assert set(sections) == {"WORKLOAD", "FRONTIER", "EXAMPLES"}
+        text = HANDBOOK.read_text()
+        for body in sections.values():
+            assert body in text
+        # Spot-check: the frontier table carries each frontier point's
+        # throughput, formatted the renderer's way.
+        for i in doc["frontier"]:
+            rate = doc["points"][i]["pairs_per_second"]
+            assert f"{rate:,.0f}" in sections["FRONTIER"]
+
+
+class TestBestPointForBudget:
+    def test_canonical_budget_resolves(self, doc):
+        # The ISSUE's worked example: 1M pairs/s under 100 mm² and 10 W.
+        point = best_point_for_budget(doc, 1e6, 100.0, 10.0)
+        assert point is not None
+        assert point["pairs_per_second"] >= 1e6
+        assert point["soc_area_mm2"] <= 100.0
+        assert point["power_w"] <= 10.0
+
+    def test_prefers_fewest_chips_then_area(self, doc):
+        point = best_point_for_budget(doc, 1e6, 100.0, 10.0)
+        for other in doc["points"]:
+            if (
+                other["failed_pairs"]
+                or other["pairs_per_second"] < 1e6
+                or other["soc_area_mm2"] > 100.0
+                or other["power_w"] > 10.0
+            ):
+                continue
+            assert (point["chips"], point["soc_area_mm2"]) <= (
+                other["chips"],
+                other["soc_area_mm2"],
+            )
+
+    def test_unreachable_budget_is_none(self, doc):
+        assert best_point_for_budget(doc, 1e12, 100.0, 10.0) is None
+
+    def test_worked_budgets_include_an_infeasible_row(self, doc):
+        answers = [
+            best_point_for_budget(doc, rate, area, power)
+            for rate, area, power in WORKED_BUDGETS
+        ]
+        assert answers[0] is not None
+        assert None in answers, "the handbook shows an infeasible answer"

@@ -1,0 +1,156 @@
+"""Property-based Pareto-frontier and planner invariants (hypothesis).
+
+The frontier and the selection core are pure functions over plain
+tuples, so the handbook's central claims — no dominated point survives,
+every excluded point is dominated by a survivor, a returned plan fits
+its budgets at minimal chip count — are checked over generated inputs
+in milliseconds, with no simulation involved.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fleet import (
+    FleetBudget,
+    PlanCandidate,
+    dominates,
+    pareto_frontier_indices,
+    select_plan,
+)
+from repro.wfasic import WfasicConfig
+
+# (pairs/s up, area down, energy down) triples; coarse grids force ties
+# and duplicates, the interesting dominance cases.
+points = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8).map(float),
+        st.integers(min_value=1, max_value=8).map(float),
+        st.integers(min_value=1, max_value=8).map(float),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+candidates = st.lists(
+    st.builds(
+        PlanCandidate,
+        config=st.just(
+            WfasicConfig(
+                num_aligners=1, parallel_sections=16,
+                max_read_len=112, k_max=512, backtrace=False,
+            )
+        ),
+        rate_pairs_per_sec=st.floats(min_value=1e3, max_value=1e7),
+        area_mm2=st.floats(min_value=0.1, max_value=50.0),
+        power_w=st.floats(min_value=0.01, max_value=5.0),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+budgets = st.builds(
+    FleetBudget,
+    pairs_per_sec=st.floats(min_value=1e3, max_value=1e8),
+    area_mm2=st.one_of(st.none(), st.floats(min_value=1.0, max_value=200.0)),
+    power_w=st.one_of(st.none(), st.floats(min_value=0.1, max_value=20.0)),
+)
+
+
+class TestFrontierInvariants:
+    @given(points)
+    @settings(max_examples=200)
+    def test_no_dominated_point_survives(self, rows):
+        frontier = pareto_frontier_indices(rows)
+        for i in frontier:
+            assert not any(
+                dominates(rows[j], rows[i]) for j in range(len(rows))
+            )
+
+    @given(points)
+    @settings(max_examples=200)
+    def test_every_excluded_point_is_dominated_by_a_survivor(self, rows):
+        frontier = set(pareto_frontier_indices(rows))
+        assert frontier, "a non-empty set always has a non-dominated point"
+        for i in range(len(rows)):
+            if i in frontier:
+                continue
+            # Dominance is transitive, so some *frontier* point (not
+            # just some point) dominates every excluded one.
+            assert any(dominates(rows[j], rows[i]) for j in frontier)
+
+    @given(points, st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_frontier_is_permutation_invariant(self, rows, rng):
+        order = list(range(len(rows)))
+        rng.shuffle(order)
+        shuffled = [rows[i] for i in order]
+        baseline = {tuple(rows[i]) for i in pareto_frontier_indices(rows)}
+        permuted = {
+            tuple(shuffled[i]) for i in pareto_frontier_indices(shuffled)
+        }
+        assert baseline == permuted
+
+    def test_duplicates_all_survive(self):
+        rows = [(1.0, 1.0, 1.0), (1.0, 1.0, 1.0), (0.0, 2.0, 2.0)]
+        assert pareto_frontier_indices(rows) == [0, 1]
+
+    def test_dominates_is_irreflexive(self):
+        assert not dominates((1.0, 2.0, 3.0), (1.0, 2.0, 3.0))
+
+
+class TestSelectPlanInvariants:
+    @given(candidates, budgets)
+    @settings(max_examples=200)
+    def test_returned_plan_satisfies_every_budget(self, cands, budget):
+        plan = select_plan(cands, budget, max_chips=8)
+        if plan is None:
+            return
+        assert plan.predicted_rate >= budget.pairs_per_sec
+        if budget.area_mm2 is not None:
+            assert plan.total_area_mm2 <= budget.area_mm2
+        if budget.power_w is not None:
+            assert plan.total_power_w <= budget.power_w
+
+    @given(candidates, budgets)
+    @settings(max_examples=200)
+    def test_chip_count_is_minimal(self, cands, budget):
+        plan = select_plan(cands, budget, max_chips=8, derate=1.0)
+        if plan is None or plan.chips == 1:
+            return
+        # No candidate is feasible at any smaller chip count.
+        for chips in range(1, plan.chips):
+            for cand in cands:
+                fits_area = (
+                    budget.area_mm2 is None
+                    or chips * cand.area_mm2 <= budget.area_mm2
+                )
+                fits_power = (
+                    budget.power_w is None
+                    or chips * cand.power_w <= budget.power_w
+                )
+                meets_rate = (
+                    chips * cand.rate_pairs_per_sec >= budget.pairs_per_sec
+                )
+                assert not (fits_area and fits_power and meets_rate)
+
+    @given(budgets)
+    def test_no_candidates_means_no_plan(self, budget):
+        assert select_plan([], budget) is None
+
+    def test_infeasible_iff_no_count_admits_a_candidate(self):
+        cand = PlanCandidate(
+            config=WfasicConfig(
+                num_aligners=1, parallel_sections=16,
+                max_read_len=112, k_max=512, backtrace=False,
+            ),
+            rate_pairs_per_sec=100.0,
+            area_mm2=10.0,
+            power_w=1.0,
+        )
+        # Rate needs >= 10 chips but the area cap admits at most 2.
+        budget = FleetBudget(pairs_per_sec=1000.0, area_mm2=25.0)
+        assert select_plan([cand], budget, derate=1.0) is None
+        # Relax the area cap and 10 chips become feasible — and minimal.
+        relaxed = FleetBudget(pairs_per_sec=1000.0, area_mm2=500.0)
+        plan = select_plan([cand], relaxed, derate=1.0)
+        assert plan is not None and plan.chips == 10

@@ -1,0 +1,128 @@
+"""End-to-end capacity-planner behaviour (simulation-verified plans)."""
+
+import pytest
+
+from repro.fleet import FleetBudget, plan_capacity, rate_candidates
+from repro.wfasic import WfasicConfig, asic_report, configs_within_budget
+from repro.workloads import make_input_set
+
+
+class TestConfigsWithinBudget:
+    def test_unconstrained_walks_the_full_grid(self):
+        configs = configs_within_budget()
+        assert len(configs) == 8  # 4 section counts x 2 k_max values
+        assert all(c.num_aligners == 1 and not c.backtrace for c in configs)
+
+    def test_area_budget_filters_by_soc_area(self):
+        cap = 3.0
+        kept = configs_within_budget(area_budget_mm2=cap)
+        assert kept
+        assert all(asic_report(c).soc_area_mm2 <= cap for c in kept)
+        dropped = [
+            c for c in configs_within_budget() if c not in kept
+        ]
+        assert all(asic_report(c).soc_area_mm2 > cap for c in dropped)
+
+    def test_include_host_false_uses_accelerator_area(self):
+        # A cap between the accelerator area and the SoC area of some
+        # configuration admits it only under the bare convention.
+        bare = configs_within_budget(area_budget_mm2=1.0, include_host=False)
+        soc = configs_within_budget(area_budget_mm2=1.0, include_host=True)
+        assert len(bare) > len(soc)
+
+    def test_power_budget_filters(self):
+        cap = 0.1
+        kept = configs_within_budget(power_budget_w=cap)
+        assert kept
+        assert all(asic_report(c).power_w <= cap for c in kept)
+
+
+class TestRateCandidates:
+    def test_incapable_configs_are_dropped(self):
+        pairs = make_input_set("1K-5%", num_pairs=4)
+        short_chip = WfasicConfig(
+            num_aligners=1, parallel_sections=16,
+            max_read_len=112, k_max=512, backtrace=False,
+        )
+        long_chip = WfasicConfig(
+            num_aligners=1, parallel_sections=64,
+            max_read_len=2000, k_max=3998, backtrace=False,
+        )
+        candidates = rate_candidates([short_chip, long_chip], pairs)
+        assert [c.config for c in candidates] == [long_chip]
+        assert candidates[0].rate_pairs_per_sec > 0
+
+    def test_host_convention_controls_candidate_area(self):
+        pairs = make_input_set("100-10%", num_pairs=8)
+        config = WfasicConfig(
+            num_aligners=1, parallel_sections=16,
+            max_read_len=112, k_max=512, backtrace=False,
+        )
+        with_host = rate_candidates([config], pairs, include_host=True)
+        bare = rate_candidates([config], pairs, include_host=False)
+        report = asic_report(config)
+        assert with_host[0].area_mm2 == pytest.approx(report.soc_area_mm2)
+        assert bare[0].area_mm2 == pytest.approx(report.total_area_mm2)
+        assert with_host[0].area_mm2 > bare[0].area_mm2
+
+
+class TestPlanCapacity:
+    def test_feasible_plan_is_simulation_backed(self):
+        budget = FleetBudget(pairs_per_sec=1e6, area_mm2=100.0, power_w=10.0)
+        plan = plan_capacity(budget)
+        assert plan.feasible
+        assert plan.simulated_pairs_per_second >= budget.pairs_per_sec
+        assert plan.result is not None
+        assert plan.result.failed_pairs == 0
+        # The simulated fleet itself fits the budgets.
+        assert plan.result.total_soc_area_mm2 <= budget.area_mm2
+        assert plan.result.total_power_w <= budget.power_w
+        # And the plan's own totals agree with the budget convention.
+        assert plan.total_area_mm2 <= budget.area_mm2
+        assert plan.total_power_w <= budget.power_w
+        assert plan.chips == len(plan.result.chips)
+
+    def test_higher_target_needs_no_fewer_chips(self):
+        low = plan_capacity(FleetBudget(pairs_per_sec=1e6))
+        high = plan_capacity(FleetBudget(pairs_per_sec=4e6))
+        assert low.feasible and high.feasible
+        assert high.chips >= low.chips
+
+    def test_impossible_target_is_infeasible(self):
+        plan = plan_capacity(
+            FleetBudget(pairs_per_sec=1e12, area_mm2=10.0, power_w=1.0)
+        )
+        assert not plan.feasible
+        assert plan.config is None and plan.result is None
+        assert plan.chips == 0
+        doc = plan.as_dict()
+        assert doc["feasible"] is False and doc["fleet"] is None
+
+    def test_tight_area_budget_is_infeasible(self):
+        # No SoC fits inside 1 mm² (the host alone is ~1.4 mm²).
+        plan = plan_capacity(FleetBudget(pairs_per_sec=1e3, area_mm2=1.0))
+        assert not plan.feasible
+        assert plan.candidates_considered == 0
+
+    def test_custom_workload_labels_plan(self):
+        pairs = make_input_set("100-5%", num_pairs=8)
+        plan = plan_capacity(
+            FleetBudget(pairs_per_sec=1e5), pairs=pairs, batch_pairs=2
+        )
+        assert plan.feasible
+        assert plan.workload == "custom (8 pairs)"
+        assert plan.num_pairs == 8
+
+    def test_plan_document_round_trips_config(self):
+        plan = plan_capacity(FleetBudget(pairs_per_sec=1e6))
+        doc = plan.as_dict()
+        assert doc["kind"] == "fleet_plan"
+        cfg = doc["config"]
+        rebuilt = WfasicConfig(
+            num_aligners=cfg["num_aligners"],
+            parallel_sections=cfg["parallel_sections"],
+            max_read_len=cfg["max_read_len"],
+            k_max=cfg["k_max"],
+            backtrace=False,
+        )
+        assert rebuilt == plan.config

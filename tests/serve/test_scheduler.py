@@ -220,3 +220,108 @@ def _pending(loop, i):
         arrival=time.perf_counter(),
         expires=None,
     )
+
+
+class TestMultiInstance:
+    """The ``instances`` pool: N engines behind the shared queue."""
+
+    @staticmethod
+    def run_multi(coro_fn, config=None, *, instances=2, registry=None):
+        """Run ``coro_fn(batcher, engines)`` against an engine pool."""
+
+        async def main():
+            engines = [
+                BatchAlignmentEngine(EngineConfig(workers=1))
+                for _ in range(instances)
+            ]
+            try:
+                batcher = MicroBatcher(engines, config, registry=registry)
+                batcher.start()
+                try:
+                    return await coro_fn(batcher, engines)
+                finally:
+                    await batcher.drain()
+            finally:
+                for engine in engines:
+                    engine.close()
+
+        return asyncio.run(main())
+
+    def test_config_rejects_zero_instances(self):
+        with pytest.raises(ValueError):
+            ServeConfig(instances=0)
+
+    def test_empty_engine_pool_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher([])
+
+    def test_round_trip_through_the_pool(self):
+        async def go(batcher, engines):
+            return await asyncio.gather(
+                *(batcher.submit(request(i, p, t))
+                  for i, (p, t) in enumerate(PAIRS * 3))
+            )
+
+        docs = self.run_multi(
+            go, ServeConfig(batch_window=0.0, max_batch=2), instances=3
+        )
+        assert [d["id"] for d in docs] == list(range(9))
+        assert all(d["ok"] for d in docs)
+
+    def test_concurrent_batches_use_distinct_engines(self):
+        served = []
+
+        async def go(batcher, engines):
+            for idx, engine in enumerate(engines):
+                orig = engine.align_batch
+
+                def spy(pairs, *, _idx=idx, _orig=orig):
+                    served.append(_idx)
+                    time.sleep(0.05)  # hold the engine busy
+                    return _orig(pairs)
+
+                engine.align_batch = spy
+            return await asyncio.gather(
+                *(batcher.submit(request(i)) for i in range(4))
+            )
+
+        docs = self.run_multi(
+            go, ServeConfig(batch_window=0.0, max_batch=1), instances=2
+        )
+        assert all(d["ok"] for d in docs)
+        # Four one-request batches over two engines held busy 50 ms
+        # each: the second batch cannot wait for the first engine.
+        assert set(served) == {0, 1}
+
+    def test_drain_answers_queued_requests(self):
+        async def go(batcher, engines):
+            pending = [
+                asyncio.ensure_future(batcher.submit(request(i, p, t)))
+                for i, (p, t) in enumerate(PAIRS)
+            ]
+            await asyncio.sleep(0)  # queued, not yet dispatched
+            await batcher.drain()
+            return [await f for f in pending]
+
+        docs = self.run_multi(go, ServeConfig(batch_window=60.0))
+        assert [d["ok"] for d in docs] == [True, True, True]
+
+    def test_session_report_spans_the_pool(self):
+        async def go(batcher, engines):
+            await asyncio.gather(
+                *(batcher.submit(request(i)) for i in range(4))
+            )
+            return batcher.session_report()
+
+        report = self.run_multi(
+            go, ServeConfig(batch_window=0.0, max_batch=1), instances=2
+        )
+        assert report.num_pairs == 4
+
+    def test_singleton_pool_takes_the_single_engine_path(self):
+        async def go(batcher, engines):
+            assert batcher.engine is engines[0]
+            return await batcher.submit(request(7))
+
+        doc = self.run_multi(go, ServeConfig(batch_window=0.0), instances=1)
+        assert doc["ok"] and doc["id"] == 7

@@ -217,8 +217,8 @@ class TestCliReference:
 
     def test_reference_covers_every_subcommand(self):
         text = format_cli_reference()
-        for command in ("generate", "align", "batch", "metrics", "report",
-                        "stats", "verify"):
+        for command in ("generate", "align", "batch", "serve", "submit",
+                        "fleet", "metrics", "report", "stats", "verify"):
             assert f"#### `{command}`" in text, command
 
     def test_readme_section_matches_parser(self):
@@ -237,6 +237,79 @@ class TestCliReference:
 
         readme = (REPO_ROOT / "README.md").read_text()
         assert sync.render_readme(readme) == readme
+
+
+class TestFleetCli:
+    """The `fleet` subcommand: plan inversion and the DSE sweep."""
+
+    def test_plan_feasible_meets_target_within_budgets(self, tmp_path, capsys):
+        """The ISSUE's acceptance criterion, end to end: the returned
+        plan's *simulated* fleet meets the rate inside both budgets."""
+        out = tmp_path / "plan.json"
+        rc = main([
+            "fleet", "plan", "--pairs-per-sec", "1000000",
+            "--area", "100", "--power", "10",
+            "-n", "16", "-o", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "fleet_plan" and doc["feasible"]
+        assert doc["simulated_pairs_per_second"] >= 1_000_000
+        assert doc["fleet"]["total_soc_area_mm2"] <= 100
+        assert doc["fleet"]["total_power_w"] <= 10
+        assert doc["chips"] >= 1 and doc["config"] is not None
+        summary = capsys.readouterr().out
+        assert "plan:" in summary and "simulated" in summary
+
+    def test_plan_infeasible_exits_one(self, capsys):
+        rc = main([
+            "fleet", "plan", "--pairs-per-sec", "1e12",
+            "--area", "4", "--power", "1", "-n", "8", "--max-chips", "2",
+        ])
+        assert rc == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_plan_requires_rate(self, capsys):
+        assert main(["fleet", "plan"]) == 2
+        assert "--pairs-per-sec" in capsys.readouterr().err
+
+    def test_plan_writes_per_chip_trace(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.json"
+        rc = main([
+            "fleet", "plan", "--pairs-per-sec", "2000000",
+            "-n", "16", "--trace", str(trace),
+        ])
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        chip_lanes = {
+            e["args"]["name"]
+            for e in events
+            if e.get("name") == "thread_name" and e.get("pid") == 2
+            and e["args"]["name"].startswith("chip ")
+        }
+        assert any(lane.startswith("chip 0 ·") for lane in chip_lanes)
+
+    def test_sweep_artifact_validates_and_prints_frontier(
+        self, tmp_path, capsys
+    ):
+        from repro.fleet import validate_fleet_sweep
+
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "fleet", "sweep", "--sections", "16", "32", "--k-max", "512",
+            "--chips", "1", "2", "-n", "8", "--batch-pairs", "2",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        validate_fleet_sweep(doc)
+        assert len(doc["points"]) == 4
+        assert "Pareto frontier" in capsys.readouterr().out
+
+    def test_sweep_rejects_bad_grid(self, capsys):
+        rc = main(["fleet", "sweep", "--sections", "0"])
+        assert rc == 2
+        assert "invalid sweep request" in capsys.readouterr().err
 
 
 class TestStats:

@@ -58,6 +58,13 @@ COVERED_MODULES = (
     "repro.engine.validation",
     "repro.align.wfa_batched",
     "repro.align.profile",
+    "repro.fleet",
+    "repro.fleet.chip",
+    "repro.fleet.scheduler",
+    "repro.fleet.planner",
+    "repro.fleet.dse",
+    "repro.fleet.report",
+    "repro.fleet.handbook",
 )
 
 #: ``[text](target)`` and ``![alt](target)`` — good enough for our docs
