@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import signal
 import sys
@@ -791,14 +792,32 @@ async def _serve_session(
     )
     await server.start()
     host, port = server.address
-    if args.ready_file:
-        Path(args.ready_file).write_text(f"{host} {port}\n", encoding="ascii")
-    print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
     loop = asyncio.get_running_loop()
-    for sig in (signal.SIGINT, signal.SIGTERM):
-        loop.add_signal_handler(
-            sig, lambda: loop.create_task(server.shutdown())
+    if args.ready_file:
+        # File I/O off the loop: the ready-file may live on slow/remote
+        # storage, and a stalled write here would freeze every
+        # connection the freshly started server is accepting.
+        await loop.run_in_executor(
+            None,
+            functools.partial(
+                Path(args.ready_file).write_text,
+                f"{host} {port}\n",
+                encoding="ascii",
+            ),
         )
+    print(f"serving on {host}:{port}", file=sys.stderr, flush=True)
+    # The loop holds only weak references to tasks: a fire-and-forget
+    # shutdown task could be collected mid-flight and never run, so the
+    # handler parks it in a set pruned by its done callback.
+    shutdown_tasks: set[asyncio.Task[None]] = set()
+
+    def _request_shutdown() -> None:
+        task = loop.create_task(server.shutdown())
+        shutdown_tasks.add(task)
+        task.add_done_callback(shutdown_tasks.discard)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, _request_shutdown)
     try:
         await server.wait_closed()
     finally:

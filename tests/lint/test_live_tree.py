@@ -12,10 +12,12 @@ from .conftest import REPO_ROOT
 
 
 #: The lint scope CI enforces: the package plus the executable trees
-#: that import it.  ``--update-baseline`` grandfathers pre-existing
-#: findings when a tree first joins this list; benchmarks/ and
-#: examples/ joined clean, so the shipped baseline stays empty.
-LINT_PATHS = ("src", "benchmarks", "examples")
+#: that import it, plus the repository tooling itself (the linter
+#: honours its own contracts).  ``--update-baseline`` grandfathers
+#: pre-existing findings when a tree first joins this list;
+#: benchmarks/, examples/ and tools/ all joined clean, so the shipped
+#: baseline stays empty.
+LINT_PATHS = ("src", "benchmarks", "examples", "tools")
 
 
 def _live_result():
@@ -40,6 +42,13 @@ class TestLiveTree:
         # A wrong skip-list or glob that silently unscoped the pass
         # would show up as a collapsing file count.
         assert _live_result().files_checked > 50
+
+    def test_analysis_runtime_within_ci_budget(self):
+        # The whole-program pass (index build + W009–W013) is budgeted
+        # at <10 s on the full tree; CI reads the same number from the
+        # JSON artifact's `summary.analysis_seconds`.
+        result = _live_result()
+        assert 0.0 < result.analysis_seconds < 10.0
 
     def test_suppressions_are_justified(self):
         # Policy: every inline suppression carries prose after the rule

@@ -1,0 +1,193 @@
+"""Suppression-machinery edge cases: multi-rule directives, decorator
+placement, and stale-waiver detection (W015)."""
+
+
+def _rules(result):
+    return sorted(f.rule_id for f in result.reported)
+
+
+def _suppressed(result):
+    return sorted(f.rule_id for f in result.suppressed)
+
+
+class TestMultiRuleDirectives:
+    def test_one_directive_suppresses_two_rules_on_a_line(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                import random
+
+                def jitter(cycles):
+                    # wfalint: disable=W001,W002 — demo uses both waivers
+                    return cycles / random.randint(1, 4)
+                """
+            },
+            select={"W001", "W002", "W015"},
+        )
+        assert result.reported == []
+        assert _suppressed(result) == ["W001", "W002"]
+
+    def test_partially_stale_multi_rule_directive_flagged(self, lint_tree):
+        # W001 fires and is suppressed; the W002 half excuses nothing.
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                import random
+
+                def jitter(cycles):
+                    # wfalint: disable=W001,W002 — only W001 still real
+                    return cycles - random.randint(1, 4)
+                """
+            },
+            select={"W001", "W002", "W015"},
+        )
+        assert _rules(result) == ["W015"]
+        assert "W002" in result.reported[0].message
+        assert _suppressed(result) == ["W001"]
+
+
+class TestDecoratorLineDirectives:
+    def test_directive_on_decorator_suppresses_def_line_finding(
+        self, lint_tree
+    ):
+        # The finding anchors on the `def` line (the mutable default);
+        # the only comment-capable line of its own is the decorator's.
+        result = lint_tree(
+            {
+                "src/repro/engine/engine.py": """\
+                import functools
+
+                @functools.lru_cache  # wfalint: disable=W004 — never mutated
+                def lookup(key, extras=[]):
+                    return (key, extras)
+                """
+            },
+            select={"W004", "W015"},
+        )
+        assert result.reported == []
+        assert _suppressed(result) == ["W004"]
+
+    def test_directive_on_any_of_several_decorators_works(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/engine/engine.py": """\
+                import functools
+
+                @functools.wraps(print)
+                @functools.lru_cache  # wfalint: disable=W004 — never mutated
+                def lookup(key, extras=[]):
+                    return (key, extras)
+                """
+            },
+            select={"W004", "W015"},
+        )
+        assert result.reported == []
+        assert _suppressed(result) == ["W004"]
+
+    def test_undecorated_def_does_not_reach_distant_comments(
+        self, lint_tree
+    ):
+        # Two lines above an undecorated def is out of directive range.
+        result = lint_tree(
+            {
+                "src/repro/engine/engine.py": """\
+                # wfalint: disable=W004 — too far away to apply
+
+                def lookup(key, extras=[]):
+                    return (key, extras)
+                """
+            },
+            select={"W004"},
+        )
+        assert _rules(result) == ["W004"]
+
+
+class TestStaleSuppressions:
+    def test_directive_that_suppresses_nothing_is_a_finding(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=W002 — historical, code since fixed
+                    return cycles // pairs
+                """
+            },
+            select={"W002", "W015"},
+        )
+        assert _rules(result) == ["W015"]
+        finding = result.reported[0]
+        assert finding.severity == "warning"
+        assert "no longer fires here" in finding.message
+        assert finding.line == 2  # the directive line, not the code line
+
+    def test_directive_for_out_of_scope_rule_is_a_finding(self, lint_tree):
+        # W002 only applies to the hardware models (wfasic/soc); a
+        # waiver for it in the engine tree can never suppress anything.
+        result = lint_tree(
+            {
+                "src/repro/engine/engine.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=W002 — copied from a model file
+                    return cycles / pairs
+                """
+            },
+            select={"W002", "W015"},
+        )
+        assert _rules(result) == ["W015"]
+        assert "does not even apply to this path" in result.reported[0].message
+
+    def test_disable_all_is_never_judged_stale(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=all — generated line, exempt wholesale
+                    return cycles // pairs
+                """
+            },
+            select={"W002", "W015"},
+        )
+        assert result.reported == []
+
+    def test_inactive_target_rule_is_unjudgeable(self, lint_tree):
+        # With W002 deselected the run cannot know whether the waiver
+        # still excuses anything — no W015.
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=W002 — judged only when W002 runs
+                    return cycles // pairs
+                """
+            },
+            select={"W015"},
+        )
+        assert result.reported == []
+
+    def test_stale_finding_can_itself_be_suppressed(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=W002,W015 — waiver kept for template
+                    return cycles // pairs
+                """
+            },
+            select={"W002", "W015"},
+        )
+        assert result.reported == []
+        assert _suppressed(result) == ["W015"]
+
+    def test_live_directive_is_not_stale(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/wfasic/pipeline.py": """\
+                def throughput(cycles, pairs):
+                    # wfalint: disable=W002 — fractional rate by contract
+                    return cycles / pairs
+                """
+            },
+            select={"W002", "W015"},
+        )
+        assert result.reported == []
+        assert _suppressed(result) == ["W002"]

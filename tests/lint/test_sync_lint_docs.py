@@ -1,0 +1,55 @@
+"""The docs' rule table is generated — and generated *currently*."""
+
+import sys
+
+from tools.wfalint.core import iter_rules
+
+from .conftest import REPO_ROOT
+
+DOC = REPO_ROOT / "docs" / "static-analysis.md"
+
+
+def _sync_module():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import sync_lint_docs
+    finally:
+        sys.path.pop(0)
+    return sync_lint_docs
+
+
+class TestRuleTableSync:
+    def test_table_is_current(self):
+        """docs/static-analysis.md == its own regeneration."""
+        sync = _sync_module()
+        text = DOC.read_text()
+        assert sync.render_doc(text) == text
+
+    def test_every_registered_rule_has_a_row(self):
+        table = _sync_module().render_rule_table()
+        text = DOC.read_text()
+        assert table in text
+        for rule in iter_rules():
+            assert f"| {rule.id} | `{rule.name}` |" in table
+
+    def test_stale_table_is_detected_and_fixed(self, tmp_path, monkeypatch):
+        sync = _sync_module()
+        stale = tmp_path / "static-analysis.md"
+        stale.write_text(
+            "intro\n\n"
+            f"{sync._BEGIN}\nstale table\n{sync._END}\n\n"
+            "outro\n"
+        )
+        monkeypatch.setattr(sync, "DOC", stale)
+        assert sync.main(["--check"]) == 1  # stale: nonzero, after fixing
+        assert sync.render_rule_table() in stale.read_text()
+        assert sync.main(["--check"]) == 0  # now current
+
+    def test_missing_markers_is_an_error(self):
+        sync = _sync_module()
+        try:
+            sync.render_doc("no markers here")
+        except SystemExit as exc:
+            assert "markers" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")

@@ -100,6 +100,92 @@ class TestJsonOutput:
         doc = json.loads(report.read_text())
         assert doc["summary"]["reported"] == 1
 
+    def test_summary_reports_analysis_runtime(self, tmp_path, capsys):
+        # Schema stays version 1: `analysis_seconds` is additive.
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["summary"]["analysis_seconds"] >= 0.0
+
+
+class TestGraphArtifact:
+    def test_graph_flag_writes_index_dump(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            {
+                "src/repro/serve/server.py": (
+                    "import time\n\n\n"
+                    "async def handle():\n"
+                    "    time.sleep(1)"
+                    "  # wfalint: disable=W009 — fixture, loop is fake\n"
+                )
+            },
+        )
+        graph = tmp_path / "wfalint-graph.json"
+        code = wfalint_main(
+            [str(tmp_path), "--root", str(tmp_path), "--graph", str(graph)]
+        )
+        assert code == 0
+        dump = json.loads(graph.read_text())
+        assert "repro.serve.server" in dump["modules"]
+        handle = dump["functions"]["repro.serve.server.handle"]
+        assert handle["async"] is True
+        assert handle["calls"][0]["targets"] == ["time.sleep"]
+        assert dump["async_reachable"] == ["repro.serve.server.handle"]
+
+    def test_without_flag_no_graph_is_built(self, tmp_path, capsys):
+        _write(tmp_path, {"src/repro/clean.py": "x = 1\n"})
+        code = wfalint_main([str(tmp_path), "--root", str(tmp_path)])
+        assert code == 0
+        assert not (tmp_path / "wfalint-graph.json").exists()
+
+
+class TestGithubAnnotations:
+    def test_reported_findings_become_workflow_commands(
+        self, tmp_path, capsys
+    ):
+        _write(tmp_path, FIXTURE)
+        code = wfalint_main(
+            [
+                str(tmp_path),
+                "--root",
+                str(tmp_path),
+                "--github-annotations",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        (annotation,) = [
+            line for line in out.splitlines() if line.startswith("::")
+        ]
+        assert annotation.startswith("::error file=src/repro/workloads/")
+        assert ",line=" in annotation and ",col=" in annotation
+        assert "title=wfalint W001" in annotation
+
+    def test_clean_run_emits_no_annotations(self, tmp_path, capsys):
+        _write(tmp_path, {"src/repro/clean.py": "x = 1\n"})
+        code = wfalint_main(
+            [
+                str(tmp_path),
+                "--root",
+                str(tmp_path),
+                "--github-annotations",
+            ]
+        )
+        assert code == 0
+        assert "::" not in capsys.readouterr().out
+
+    def test_message_newlines_are_escaped(self):
+        from tools.wfalint.cli import _annotation_escape
+
+        assert (
+            _annotation_escape("a\nb%c\rd") == "a%0Ab%25c%0Dd"
+        )
+
 
 class TestBaselineFlow:
     def test_update_baseline_then_clean(self, tmp_path, capsys):

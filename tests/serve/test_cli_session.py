@@ -1,0 +1,94 @@
+"""End-to-end ``repro-wfasic serve`` session lifecycle (ISSUE 10).
+
+Regression pins for the two defects the whole-program lint pass
+(W009/W014, docs/static-analysis.md) surfaced in ``_serve_session``:
+
+* the ready-file is written **off the event loop** — the file must
+  still appear, with the same ``host port`` contents, before the
+  server answers traffic (W009: no blocking I/O reachable from the
+  loop);
+* the SIGTERM handler must **retain** its ``server.shutdown()`` task —
+  a garbage-collected fire-and-forget task would leave the session
+  hanging forever, which this test converts into a loud timeout
+  (W014: discarded ``create_task`` result).
+
+A real subprocess runs the real CLI; pytest only watches the wire.
+"""
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient
+
+pytestmark = pytest.mark.slow
+
+SESSION_TIMEOUT = 60.0
+
+
+def _wait_for(predicate, timeout, what):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    ready = tmp_path / "ready"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--ready-file",
+            str(ready),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        yield proc, ready
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=SESSION_TIMEOUT)
+
+
+class TestServeSessionLifecycle:
+    def test_ready_file_then_sigterm_drains_cleanly(self, serve_process):
+        proc, ready = serve_process
+        _wait_for(
+            lambda: ready.is_file() and ready.read_text().strip(),
+            SESSION_TIMEOUT,
+            "ready file",
+        )
+        host, port = ready.read_text().split()
+
+        with ServeClient(host, int(port)) as client:
+            response = client.align("ACGT", "ACCT")
+        assert response["ok"], response.get("error_kind")
+
+        # The retained-shutdown-task contract: SIGTERM must complete
+        # the drain and exit 0.  Before the fix the handler's task
+        # could be collected mid-flight, hanging the session — that
+        # now fails here as a communicate() timeout.
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=SESSION_TIMEOUT)
+        assert proc.returncode == 0, stderr
+        assert "pairs" in stdout  # the merged session report printed
+        assert "serving on" in stderr

@@ -42,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "files or directories to lint (default: <--root>/src plus "
-            "benchmarks/ and examples/ when present)"
+            "benchmarks/, examples/ and tools/ when present — the "
+            "linter lints itself)"
         ),
     )
     parser.add_argument(
@@ -60,6 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-report",
         metavar="PATH",
         help="additionally write the JSON report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="PATH",
+        help=(
+            "write the phase-1 project index (import/call graph, async "
+            "reachability) as JSON here (CI artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--github-annotations",
+        action="store_true",
+        help=(
+            "additionally emit GitHub workflow annotations "
+            "(::error file=...,line=...) for every reported finding"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -142,6 +159,33 @@ def _json_report(result: LintResult) -> dict:
     }
 
 
+def _annotation_escape(text: str) -> str:
+    """Escape a message for the GitHub workflow-command data section."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _annotations(result: LintResult) -> list[str]:
+    """GitHub workflow-command lines for every reported finding.
+
+    Printed to stdout inside the CI job so findings surface as inline
+    annotations on the pull-request diff.
+    """
+    lines: list[str] = []
+    for finding in [*result.parse_errors, *result.reported]:
+        level = "error" if finding.severity == "error" else "warning"
+        message = _annotation_escape(
+            f"{finding.rule_id}: {finding.message}"
+        )
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={max(finding.col, 1)},title=wfalint {finding.rule_id}"
+            f"::{message}"
+        )
+    return lines
+
+
 def _text_report(result: LintResult, show_suppressed: bool) -> str:
     lines = [f.format() for f in result.parse_errors]
     lines += [f.format() for f in result.reported]
@@ -190,14 +234,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     # The default target is the CI scope under --root, not under the
     # cwd, so `repro-wfasic lint -- --format json` works from any
-    # directory.  benchmarks/ and examples/ are optional: a source
-    # distribution may ship without them.
+    # directory.  benchmarks/, examples/ and tools/ are optional: a
+    # source distribution may ship without them.  tools/ puts the
+    # linter itself in scope — the analyzer honors its own contracts.
     if args.paths:
         paths = [Path(p) for p in args.paths]
     else:
         paths = [root / "src"] + [
             root / extra
-            for extra in ("benchmarks", "examples")
+            for extra in ("benchmarks", "examples", "tools")
             if (root / extra).is_dir()
         ]
     missing = [p for p in paths if not p.exists()]
@@ -211,6 +256,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         baseline=baseline,
         select=_parse_rule_set(args.select),
         ignore=_parse_rule_set(args.ignore),
+        graph=args.graph is not None,
     )
 
     if args.update_baseline:
@@ -230,9 +276,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(_json_report(result), indent=2))
     else:
         print(_text_report(result, args.show_suppressed))
+    if args.github_annotations:
+        for line in _annotations(result):
+            print(line)
     if args.json_report:
         Path(args.json_report).write_text(
             json.dumps(_json_report(result), indent=2) + "\n",
+            encoding="utf-8",
+        )
+    if args.graph:
+        Path(args.graph).write_text(
+            json.dumps(result.graph or {}, indent=2) + "\n",
             encoding="utf-8",
         )
     return result.exit_code

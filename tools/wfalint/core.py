@@ -28,6 +28,7 @@ __all__ = [
     "Finding",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register",
     "get_rule",
     "iter_rules",
@@ -41,9 +42,12 @@ SEVERITIES = ("warning", "error")
 
 Severity = str
 
-#: ``# wfalint: disable=W001,W002`` or ``disable=all`` — the directive
-#: suppresses matching findings on its own line.  Anything after the
-#: rule list (conventionally an em-dash justification) is free text.
+#: A comment of the form ``wfalint: disable=W001,W002`` (or
+#: ``disable=all``) suppresses matching findings on its own line.
+#: Anything after the rule list (conventionally an em-dash
+#: justification) is free text.  The example above is deliberately not
+#: written with its leading hash so this very comment is not parsed as
+#: a (stale) directive when the linter lints itself.
 _SUPPRESS_RE = re.compile(
     r"#\s*wfalint:\s*disable=(all|[Ww]\d{3}(?:\s*,\s*[Ww]\d{3})*)"
 )
@@ -171,6 +175,56 @@ class Rule:
             col=col,
             message=message,
             source_line=ctx.source_line(line),
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the W009+ family).
+
+    Per-file rules see one :class:`FileContext` at a time; a
+    ``ProjectRule`` instead runs once per lint invocation against the
+    phase-1 :class:`~tools.wfalint.project.ProjectIndex` (import graph,
+    call graph over fully-qualified names, ``async def`` reachability,
+    class attribute/resource tables).  Findings flow through the same
+    suppression / baseline / severity machinery as per-file findings —
+    they are anchored at real source locations, so an inline
+    ``# wfalint: disable=`` on the offending line works unchanged.
+
+    ``path_fragments`` still scopes where findings may be *anchored*
+    (the runner drops out-of-scope findings), but the index always
+    covers every linted file — cross-module evidence is the point.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules have no per-file phase."""
+        return iter(())
+
+    def check_project(self, index: "object") -> Iterator[Finding]:
+        """Yield findings against the whole-program index.
+
+        ``index`` is a :class:`tools.wfalint.project.ProjectIndex`
+        (typed loosely here to keep ``core`` free of the dependency).
+        """
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        source_line: str = "",
+    ) -> Finding:
+        """Build a finding at an explicit location (non-Python artifacts
+        like ``docs/observability.md`` have no :class:`FileContext`)."""
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            source_line=source_line,
         )
 
 

@@ -1,0 +1,171 @@
+"""W011 — no scheduler re-entry while holding an ``asyncio.Lock``.
+
+The per-connection write lock in the serve layer exists to keep NDJSON
+response lines atomic; the micro-batching scheduler owns admission and
+dispatch.  An ``await`` inside a lock's critical section that calls
+*back into the scheduler* (``MicroBatcher.submit``/``drain`` or
+anything reaching them) — or that acquires another lock — couples the
+two: the held lock now waits on batch-window timing, other writers on
+the connection stall for a full batch round-trip, and two such
+sections ordering their locks differently deadlock outright.
+
+The rule resolves each awaited call through the phase-1 call graph.
+Awaits on unresolved callees (``writer.drain()`` — stdlib stream
+plumbing) are out of scope by design: the contract is about *this
+project's* scheduler, and a whole-program linter must prefer false
+negatives to noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ProjectRule, register
+from ..project import FunctionInfo, ProjectIndex
+
+#: Path fragment identifying the scheduler module: its async methods
+#: are the re-entry surface the rule protects.
+_SCHEDULER_FRAGMENT = "serve/scheduler"
+
+
+def _file_lock_names(tree: ast.Module) -> set[str]:
+    """Names bound to ``asyncio.Lock()`` anywhere in the file.
+
+    File-wide on purpose: the serve idiom binds the lock in an outer
+    function and acquires it inside a closure (``respond``).
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.value, ast.Call)
+        ):
+            func = node.value.func
+            is_lock = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Lock"
+            ) or (isinstance(func, ast.Name) and func.id == "Lock")
+            if is_lock and isinstance(node.targets[0], ast.Name):
+                names.add(node.targets[0].id)
+    return names
+
+
+def _lock_expr(
+    expr: ast.expr,
+    lock_names: set[str],
+    func: FunctionInfo,
+    index: ProjectIndex,
+) -> str | None:
+    """Render ``expr`` as a lock description if it is one, else None."""
+    if isinstance(expr, ast.Name) and expr.id in lock_names:
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and func.class_name
+    ):
+        owner = index.classes.get(func.class_name)
+        if owner is not None:
+            attr_type = owner.attr_types.get(expr.attr, "")
+            if attr_type.rsplit(".", 1)[-1] == "Lock":
+                return f"self.{expr.attr}"
+    return None
+
+
+@register
+class AwaitUnderLockRule(ProjectRule):
+    """W011 — critical sections never await back into the scheduler."""
+
+    id = "W011"
+    name = "await-under-lock"
+    severity = "error"
+    description = (
+        "An `await` inside an `asyncio.Lock` critical section resolves "
+        "to the micro-batching scheduler (or acquires another lock) — "
+        "the held lock then waits on batch-window timing, stalling "
+        "every other waiter and inviting lock-order deadlock."
+    )
+    invariant = (
+        "Locks in the serve layer guard single writes only; scheduler "
+        "admission (`MicroBatcher.submit`/`drain`) happens outside any "
+        "critical section (the `_serve_line` pattern)."
+    )
+    path_fragments = ("repro/",)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        scheduler_entries = {
+            qual
+            for qual, func in index.functions.items()
+            if func.is_async and _SCHEDULER_FRAGMENT in func.ctx.relpath
+        }
+        lock_names_by_path: dict[str, set[str]] = {}
+        #: Functions that themselves acquire a recognized lock.
+        acquires: set[str] = set()
+        sections: list[
+            tuple[FunctionInfo, ast.AsyncWith, str]
+        ] = []
+        for func in index.functions.values():
+            if not func.is_async or not self.applies(func.ctx.relpath):
+                continue
+            path = func.ctx.relpath
+            if path not in lock_names_by_path:
+                lock_names_by_path[path] = _file_lock_names(func.ctx.tree)
+            lock_names = lock_names_by_path[path]
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.AsyncWith):
+                    continue
+                for item in node.items:
+                    lock = _lock_expr(
+                        item.context_expr, lock_names, func, index
+                    )
+                    if lock is not None:
+                        acquires.add(func.qualname)
+                        sections.append((func, node, lock))
+                        break
+
+        for func, section, lock in sections:
+            call_by_node = {id(c.node): c for c in func.calls}
+            for stmt in section.body:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Await) or not isinstance(
+                        node.value, ast.Call
+                    ):
+                        continue
+                    call = call_by_node.get(id(node.value))
+                    if call is None:
+                        continue
+                    for target in call.targets:
+                        reason = self._reentry_reason(
+                            index, target, scheduler_entries, acquires
+                        )
+                        if reason is not None:
+                            yield self.finding(
+                                func.ctx,
+                                node,
+                                f"`await {call.raw}(...)` while holding "
+                                f"`{lock}`: {reason} — move the await "
+                                "out of the critical section",
+                            )
+                            break
+
+    def _reentry_reason(
+        self,
+        index: ProjectIndex,
+        target: str,
+        scheduler_entries: set[str],
+        acquires: set[str],
+    ) -> str | None:
+        callee = index.functions.get(target)
+        if callee is None or not callee.is_async:
+            return None
+        reachable = index.reachable_from({target})
+        touched = reachable & scheduler_entries
+        if touched:
+            entry = sorted(touched)[0]
+            return f"it re-enters the scheduler (`{entry}`)"
+        if reachable & acquires:
+            return "it acquires another asyncio.Lock"
+        return None

@@ -1,0 +1,258 @@
+"""W010 — shared-memory resources are created paired with a release path.
+
+``SequenceArena`` and ``ResultRing`` (PR 6) own ``/dev/shm`` segments.
+Python's GC does not unlink POSIX shared memory: a creation site with
+no reachable ``close()``/``with``/finalizer path leaks kernel-visible
+segments that survive the process — exactly what the leak battery
+(``tests/align/test_arena.py``) exists to catch at runtime.  This rule
+catches the *pattern* statically, whole-program: every creation site
+must hand the object to something that releases it.
+
+A creation site is accepted when, flow-insensitively:
+
+* it is a ``with`` item (``__exit__`` unlinks);
+* it is passed straight into another call (ownership transfer — e.g.
+  ``PackCache(arena=SequenceArena())``, whose owner closes it);
+* it is assigned to ``self.attr`` on a class that defines ``close``,
+  ``__exit__`` or ``__del__`` (the owner has a teardown surface);
+* it is assigned to a local that is later closed, used as a ``with``
+  item, passed to a call, or returned; or
+* it is returned directly — the enclosing function is then a *factory*
+  and the rule follows the call graph one level: every resolved caller
+  must itself close / transfer / re-return what the factory handed it.
+
+Anything else — a bare ``SequenceArena()`` statement, a local that
+falls off the end of the function, a factory result that a caller
+discards — is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ProjectRule, register
+from ..project import CallSite, FunctionInfo, ProjectIndex
+
+#: Class base names whose instances own ``/dev/shm`` segments.
+_TRACKED_CLASSES = {"SequenceArena", "ResultRing"}
+
+#: Method names that count as a teardown surface on an owning class.
+_TEARDOWN_METHODS = {"close", "__exit__", "__del__"}
+
+
+def _is_tracked_creation(call: CallSite) -> str | None:
+    """The tracked class name this call constructs, if any."""
+    for target in call.targets:
+        base = target.rsplit(".", 1)[-1]
+        if base in _TRACKED_CLASSES:
+            return base
+    return None
+
+
+def _parent_map(root: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _name_released_locally(
+    func_node: ast.AST, name: str
+) -> bool:
+    """Whether ``name`` is closed / transferred / returned in ``func_node``."""
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Call):
+            # name.close() — an explicit release.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+            # Passed onward (ownership transfer / finalizer
+            # registration, e.g. weakref.finalize(owner, _unlink, name)).
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        elif isinstance(node, ast.withitem):
+            expr = node.context_expr
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+    return False
+
+
+@register
+class ResourceLifecycleRule(ProjectRule):
+    """W010 — every arena/ring creation is dominated by a release path."""
+
+    id = "W010"
+    name = "resource-lifecycle"
+    severity = "error"
+    description = (
+        "A `SequenceArena`/`ResultRing` creation site with no reachable "
+        "`with`/`close()`/finalizer/ownership-transfer path — the "
+        "/dev/shm segment outlives the process (the leak battery's "
+        "contract, checked statically and across the call graph)."
+    )
+    invariant = (
+        "Zero /dev/shm leaks on any exit path: every shared-memory "
+        "resource is context-managed, explicitly closed, or handed to "
+        "an owner with a teardown surface (docs/shared-memory.md)."
+    )
+    path_fragments = ("repro/",)
+    #: The defining module constructs instances as part of its own
+    #: lifecycle implementation (attach/clone paths).
+    exclude_fragments = ("repro/align/arena.py",)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        #: Functions that return a fresh tracked resource; each maps to
+        #: the class name for the caller-side message.
+        factories: dict[str, str] = {}
+        deferred: list[tuple[FunctionInfo, CallSite, str]] = []
+
+        for func in index.functions.values():
+            if not self.applies(func.ctx.relpath):
+                continue
+            parents = _parent_map(func.node)
+            for call in func.calls:
+                cls = _is_tracked_creation(call)
+                if cls is None:
+                    continue
+                verdict = self._site_verdict(func, call, parents, index)
+                if verdict == "ok":
+                    continue
+                if verdict == "factory":
+                    factories[func.qualname] = cls
+                    continue
+                deferred.append((func, call, cls))
+
+        for func, call, cls in deferred:
+            yield self.finding(
+                func.ctx,
+                call.node,
+                f"`{cls}()` created with no release path: use `with`, "
+                "call `.close()` on every exit, or hand it to an owner "
+                "that tears it down",
+            )
+
+        # One call-graph hop: every caller of a factory must release,
+        # transfer or re-return what the factory handed back.
+        for factory_qual, cls in sorted(factories.items()):
+            yield from self._check_factory_callers(
+                index, factory_qual, cls
+            )
+
+    def _site_verdict(
+        self,
+        func: FunctionInfo,
+        call: CallSite,
+        parents: dict[int, ast.AST],
+        index: ProjectIndex,
+    ) -> str:
+        """``"ok"``, ``"factory"`` or ``"leak"`` for one creation site."""
+        parent = parents.get(id(call.node))
+        # Walk out of wrapping expressions (await, tuple displays).
+        while isinstance(parent, (ast.Await, ast.Starred)):
+            parent = parents.get(id(parent))
+        if isinstance(parent, ast.withitem):
+            return "ok"
+        if isinstance(parent, (ast.Call, ast.keyword)):
+            return "ok"  # ownership transfer into the enclosing call
+        if isinstance(parent, ast.Tuple):
+            grand = parents.get(id(parent))
+            if isinstance(grand, ast.Return):
+                return "factory"
+            parent = grand  # fall through: tuple-assign handled below
+        if isinstance(parent, ast.Return):
+            return "factory"
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ) and target.value.id == "self":
+                owner = (
+                    index.classes.get(func.class_name)
+                    if func.class_name
+                    else None
+                )
+                if owner is not None and (
+                    owner.methods & _TEARDOWN_METHODS
+                ):
+                    return "ok"
+                return "leak"
+            if isinstance(target, ast.Name):
+                if _name_released_locally(func.node, target.id):
+                    if self._name_only_returned(func.node, target.id):
+                        return "factory"
+                    return "ok"
+                return "leak"
+        return "leak"
+
+    @staticmethod
+    def _name_only_returned(func_node: ast.AST, name: str) -> bool:
+        """True when the release path for ``name`` is (only) a return —
+        the function is then a factory whose callers carry the duty."""
+        returned = False
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("close", "unlink")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    return False  # closed locally: not a factory
+            if isinstance(node, ast.withitem):
+                expr = node.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return False
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        returned = True
+        return returned
+
+    def _check_factory_callers(
+        self, index: ProjectIndex, factory_qual: str, cls: str
+    ) -> Iterator[Finding]:
+        for call in index.callers_of(factory_qual):
+            caller = index.functions.get(call.caller)
+            if caller is None or not self.applies(caller.ctx.relpath):
+                continue
+            parents = _parent_map(caller.node)
+            parent = parents.get(id(call.node))
+            while isinstance(parent, ast.Await):
+                parent = parents.get(id(parent))
+            if isinstance(parent, (ast.Call, ast.keyword, ast.withitem)):
+                continue  # transferred / context-managed immediately
+            if isinstance(parent, ast.Return):
+                continue  # re-returned: the next caller owns it
+            names: list[str] = []
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                target = parent.targets[0]
+                if isinstance(target, ast.Name):
+                    names = [target.id]
+                elif isinstance(target, ast.Tuple):
+                    names = [
+                        e.id
+                        for e in target.elts
+                        if isinstance(e, ast.Name)
+                    ]
+            if names and any(
+                _name_released_locally(caller.node, n) for n in names
+            ):
+                continue
+            yield self.finding(
+                caller.ctx,
+                call.node,
+                f"`{factory_qual.rsplit('.', 1)[-1]}(...)` returns a "
+                f"fresh `{cls}` that this caller never closes, "
+                "transfers or returns — the segment leaks",
+            )

@@ -1,0 +1,53 @@
+"""W015 — stale inline suppressions are findings themselves.
+
+A ``# wfalint: disable=Wxxx`` directive is a *waiver with a reason*: it
+excuses one concrete finding at one concrete line.  When the code it
+excused is later fixed or deleted the directive outlives its purpose —
+and a tree full of dead waivers is how real findings start slipping
+through review unexamined.
+
+The detection lives in the runner, not here: after bucketing every
+finding, :func:`tools.wfalint.runner.run_lint` knows exactly which
+directives suppressed at least one finding, and synthesizes a W015
+finding for each directive that suppressed *nothing* while its target
+rule was active and in scope.  (A directive naming a rule that is not
+active this run — deselected, ignored, or a custom-rules invocation —
+is unjudgeable and skipped.)  This module exists so the rule has a
+registry entry like any other: it appears in ``--list-rules`` and the
+docs table, participates in ``--select``/``--ignore``, and can itself
+be suppressed (``disable=W015`` on a deliberately-kept waiver, with a
+justification).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, register
+
+
+@register
+class StaleSuppressionRule(Rule):
+    """W015 — every ``disable=`` directive must still suppress something."""
+
+    id = "W015"
+    name = "stale-suppression"
+    severity = "warning"
+    description = (
+        "A `# wfalint: disable=Wxxx` directive that suppressed nothing "
+        "this run while the named rule was active and applies to the "
+        "path — the finding it excused is gone, so the waiver is dead "
+        "weight and must be deleted."
+    )
+    invariant = (
+        "Every inline waiver in the tree maps to a live finding; dead "
+        "directives are removed with the code they excused "
+        "(docs/static-analysis.md suppression policy)."
+    )
+    path_fragments = ()  # everywhere the linter looks
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Runner-driven: stale directives can only be identified after
+        # *all* findings of a run are bucketed, so the runner performs
+        # the sweep and synthesizes findings under this rule's id.
+        return iter(())

@@ -1,0 +1,120 @@
+"""W013 — timeout/deadline parameters thread through to every dispatch.
+
+The engine's degradation ladder (PR 4) and the serve layer's admission
+control (PR 8) both hinge on deadlines actually *arriving* at the
+dispatch that enforces them: an entry point that accepts
+``chunk_timeout`` but constructs an ``EngineConfig`` without forwarding
+it silently reverts to the default and the caller's deadline becomes
+decorative.  This is the classic plumbing bug — signature says
+configurable, body says hard-coded.
+
+The rule is whole-program and name-matched: for every function with a
+timeout-family parameter, every resolved project-internal callee that
+*accepts a parameter of the same name* must receive it at that call
+site (as a keyword, or covered positionally).  Different names are
+different contracts and stay out of scope, as do ``*args``/``**kwargs``
+forwarding calls and ``**kwargs``-absorbing callees — the rule prefers
+false negatives to guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ProjectRule, register
+from ..project import CallSite, FunctionInfo, ProjectIndex
+
+#: Parameter names that carry a deadline or timeout contract.
+_TIMEOUT_PARAMS = ("chunk_timeout", "deadline_ms", "timeout")
+
+
+def _call_is_opaque(node: ast.Call) -> bool:
+    """``f(*args)`` / ``f(**kwargs)`` — forwarding we cannot see through."""
+    return any(isinstance(a, ast.Starred) for a in node.args) or any(
+        kw.arg is None for kw in node.keywords
+    )
+
+
+@register
+class TimeoutPropagationRule(ProjectRule):
+    """W013 — deadlines accepted are deadlines forwarded."""
+
+    id = "W013"
+    name = "timeout-propagation"
+    severity = "error"
+    description = (
+        "A function accepting a timeout/deadline parameter "
+        "(`chunk_timeout`, `deadline_ms`, `timeout`) calls a project "
+        "function or constructor that accepts the same parameter "
+        "without forwarding it — the callee falls back to its default "
+        "and the caller's deadline is silently ignored."
+    )
+    invariant = (
+        "Deadline plumbing is lossless: every dispatch a "
+        "timeout-accepting entry point dominates receives that timeout "
+        "(`align_pairs` → `EngineConfig(chunk_timeout=...)` → "
+        "`_run_item_quarantined(payload, timeout)`)."
+    )
+    path_fragments = ("repro/",)
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for func in index.functions.values():
+            if not self.applies(func.ctx.relpath):
+                continue
+            held = [p for p in _TIMEOUT_PARAMS if p in func.params]
+            if not held:
+                continue
+            for call in func.calls:
+                if _call_is_opaque(call.node):
+                    continue
+                for param in held:
+                    message = self._dropped_at(index, call, param)
+                    if message is not None:
+                        yield self.finding(func.ctx, call.node, message)
+
+    def _dropped_at(
+        self, index: ProjectIndex, call: CallSite, param: str
+    ) -> str | None:
+        """A finding message if ``call`` accepts but drops ``param``."""
+        for target in call.targets:
+            callee = index.functions.get(target)
+            if callee is not None:
+                if callee.has_kwargs or param not in callee.params:
+                    continue
+                if self._passes(call.node, callee, param):
+                    continue
+                return (
+                    f"`{call.raw}(...)` accepts `{param}` but this call "
+                    f"does not forward it — the caller's `{param}` "
+                    "never reaches the dispatch"
+                )
+            cls = index.classes.get(target)
+            if cls is not None:
+                init = index.functions.get(f"{target}.__init__")
+                accepts = param in cls.field_names or (
+                    init is not None and param in init.params
+                )
+                if not accepts:
+                    continue
+                if any(kw.arg == param for kw in call.node.keywords):
+                    continue
+                if call.node.args:
+                    continue  # positional construction: cannot tell
+                return (
+                    f"`{call.raw}(...)` accepts `{param}` but this "
+                    f"construction does not forward it — the default "
+                    "silently overrides the caller's deadline"
+                )
+        return None
+
+    @staticmethod
+    def _passes(
+        node: ast.Call, callee: FunctionInfo, param: str
+    ) -> bool:
+        """Whether the call site supplies ``param`` to ``callee``."""
+        if any(kw.arg == param for kw in node.keywords):
+            return True
+        offset = 1 if callee.is_method else 0
+        pos = callee.params.index(param) - offset
+        return 0 <= pos < len(node.args)

@@ -5,16 +5,40 @@ suite use.  It returns a :class:`LintResult` separating findings into
 the three buckets the tooling cares about: *reported* (fail the run),
 *suppressed* (an inline ``# wfalint: disable=`` on the line), and
 *baselined* (grandfathered by the committed baseline file).
+
+Since the whole-program pass the run has two phases.  Phase 1 parses
+every file once and runs the per-file rules; phase 2 builds the
+:class:`~tools.wfalint.project.ProjectIndex` from the already-parsed
+trees and runs every :class:`~tools.wfalint.core.ProjectRule` against
+it.  Findings from both phases flow through identical suppression /
+baseline bucketing, and the elapsed wall time of the whole analysis is
+recorded on the result (CI budgets the pass at < 10 s).
+
+Suppression matching covers three placements: the finding's own line, a
+pure-comment directive line directly above it, and — for findings
+anchored on a ``def``/``class`` line — the decorator lines above the
+definition.  Directives that suppress nothing are themselves findings
+(W015 ``stale-suppression``) so dead waivers cannot accumulate.
 """
 
 from __future__ import annotations
 
+import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from . import rules as _builtin_rules  # noqa: F401  — registers the rules
 from .baseline import Baseline
-from .core import Finding, Rule, iter_rules, parse_suppressions, FileContext
+from .core import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    iter_rules,
+    parse_suppressions,
+)
+from .project import ProjectIndex
 
 __all__ = ["LintResult", "run_lint", "collect_files"]
 
@@ -29,6 +53,9 @@ _SKIP_DIRS = {
     "repro.egg-info",
 }
 
+#: The runner-driven stale-suppression rule (see ``rules/suppressions``).
+_STALE_RULE_ID = "W015"
+
 
 @dataclass
 class LintResult:
@@ -40,6 +67,11 @@ class LintResult:
     parse_errors: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     stale_baseline: list[dict] = field(default_factory=list)
+    #: Wall-clock seconds the whole analysis took (both phases).
+    analysis_seconds: float = 0.0
+    #: The ``--graph`` artifact (phase-1 index dump); ``None`` unless
+    #: :func:`run_lint` was asked for it.
+    graph: dict | None = None
 
     @property
     def all_findings(self) -> list[Finding]:
@@ -51,8 +83,8 @@ class LintResult:
         """0 clean; 1 findings (or unparsable files)."""
         return 1 if self.reported or self.parse_errors else 0
 
-    def summary(self) -> dict[str, int]:
-        """Counts by bucket, JSON-friendly."""
+    def summary(self) -> dict[str, int | float]:
+        """Counts by bucket (plus the analyzer runtime), JSON-friendly."""
         errors = sum(1 for f in self.reported if f.severity == "error")
         return {
             "files_checked": self.files_checked,
@@ -63,6 +95,7 @@ class LintResult:
             "baselined": len(self.baselined),
             "parse_errors": len(self.parse_errors),
             "stale_baseline": len(self.stale_baseline),
+            "analysis_seconds": round(self.analysis_seconds, 3),
         }
 
 
@@ -79,6 +112,23 @@ def collect_files(paths: list[Path]) -> list[Path]:
     return sorted(out)
 
 
+def _decorator_lines(tree: ast.Module) -> dict[int, set[int]]:
+    """Map a decorated ``def``/``class`` line to its decorator lines.
+
+    A finding anchored on the definition line may be suppressed by a
+    directive on any of its decorator lines — the only lines "next to"
+    a decorated definition that can carry a comment of their own.
+    """
+    out: dict[int, set[int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if node.decorator_list:
+                out[node.lineno] = {d.lineno for d in node.decorator_list}
+    return out
+
+
 def run_lint(
     paths: list[Path],
     *,
@@ -87,13 +137,17 @@ def run_lint(
     select: set[str] | None = None,
     ignore: set[str] | None = None,
     rules: list[Rule] | None = None,
+    graph: bool = False,
 ) -> LintResult:
     """Lint ``paths`` and bucket every finding.
 
     ``root`` anchors relpaths (and rule path scoping); it defaults to
     the current working directory.  ``select``/``ignore`` filter rule
     ids; ``rules`` overrides the registry entirely (tests use this).
+    ``graph=True`` additionally attaches the phase-1 index dump to the
+    result (the ``--graph`` CLI artifact).
     """
+    started = time.perf_counter()
     root = (root or Path.cwd()).resolve()
     active = rules if rules is not None else iter_rules()
     if select:
@@ -104,6 +158,14 @@ def run_lint(
 
     result = LintResult()
     matched: list[Finding] = []
+    contexts: list[FileContext] = []
+    ctx_map: dict[str, FileContext] = {}
+    supp_map: dict[str, dict[int, set[str]]] = {}
+    deco_map: dict[str, dict[int, set[int]]] = {}
+    #: ``(relpath, line, rule_id-or-'all')`` directives that suppressed
+    #: at least one finding — the complement feeds W015.
+    used_directives: set[tuple[str, int, str]] = set()
+
     for path in collect_files(paths):
         try:
             ctx = FileContext.load(path, root)
@@ -121,27 +183,105 @@ def run_lint(
             )
             continue
         result.files_checked += 1
-        suppressions = parse_suppressions(ctx.lines)
-        for rule in active:
+        contexts.append(ctx)
+        ctx_map[ctx.relpath] = ctx
+        supp_map[ctx.relpath] = parse_suppressions(ctx.lines)
+        deco_map[ctx.relpath] = _decorator_lines(ctx.tree)
+
+    def bucket(finding: Finding) -> None:
+        matched.append(finding)
+        hits: set[tuple[int, str]] = set()
+        ctx = ctx_map.get(finding.path)
+        if ctx is not None:
+            suppressions = supp_map[finding.path]
+            candidate_lines = {finding.line}
+            # A directive may also sit on an immediately preceding
+            # pure-comment line (the idiom for statements too long
+            # to share a line with their justification) …
+            prev = finding.line - 1
+            if prev >= 1 and ctx.source_line(prev).startswith("#"):
+                candidate_lines.add(prev)
+            # … or, for decorated definitions, on a decorator line.
+            candidate_lines |= deco_map[finding.path].get(
+                finding.line, set()
+            )
+            for lineno in candidate_lines:
+                for rid in suppressions.get(lineno, set()):
+                    if rid == "all" or rid == finding.rule_id:
+                        hits.add((lineno, rid))
+        if hits:
+            for lineno, rid in hits:
+                used_directives.add((finding.path, lineno, rid))
+            result.suppressed.append(finding)
+        elif finding in baseline:
+            result.baselined.append(finding)
+        else:
+            result.reported.append(finding)
+
+    # Phase 1: per-file rules over each parsed tree.
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    for ctx in contexts:
+        for rule in file_rules:
             if not rule.applies(ctx.relpath):
                 continue
             for finding in rule.check(ctx):
-                matched.append(finding)
-                line_rules = set(suppressions.get(finding.line, set()))
-                # A directive may also sit on an immediately preceding
-                # pure-comment line (the idiom for statements too long
-                # to share a line with their justification).
-                prev = finding.line - 1
-                if prev >= 1 and ctx.source_line(prev).startswith("#"):
-                    line_rules |= suppressions.get(prev, set())
-                if "all" in line_rules or finding.rule_id in line_rules:
-                    result.suppressed.append(finding)
-                elif finding in baseline:
-                    result.baselined.append(finding)
-                else:
-                    result.reported.append(finding)
+                bucket(finding)
+
+    # Phase 2: whole-program rules over the cross-module index.
+    if project_rules:
+        index = ProjectIndex.build(contexts, root)
+        for rule in project_rules:
+            for finding in rule.check_project(index):
+                if rule.applies(finding.path):
+                    bucket(finding)
+        if graph:
+            result.graph = index.graph_dump()
+
+    # Stale suppressions: a directive (excluding `all` and W015 itself)
+    # naming an active, in-scope rule that suppressed nothing is dead —
+    # report it so waivers cannot outlive the code they excused.
+    stale_rule = next(
+        (r for r in active if r.id == _STALE_RULE_ID), None
+    )
+    if stale_rule is not None:
+        by_id = {r.id: r for r in active}
+        for relpath, suppressions in sorted(supp_map.items()):
+            if not stale_rule.applies(relpath):
+                continue
+            ctx = ctx_map[relpath]
+            for lineno, rids in sorted(suppressions.items()):
+                for rid in sorted(rids):
+                    if rid in ("all", _STALE_RULE_ID):
+                        continue
+                    target = by_id.get(rid)
+                    if target is None:
+                        continue  # rule not active this run: unjudgeable
+                    if (relpath, lineno, rid) in used_directives:
+                        continue
+                    scope = (
+                        "no longer fires here"
+                        if target.applies(relpath)
+                        else "does not even apply to this path"
+                    )
+                    bucket(
+                        Finding(
+                            rule_id=stale_rule.id,
+                            severity=stale_rule.severity,
+                            path=relpath,
+                            line=lineno,
+                            col=0,
+                            message=(
+                                f"stale suppression: {rid} {scope} — "
+                                "delete the directive"
+                            ),
+                            source_line=ctx.source_line(lineno),
+                        )
+                    )
+
     result.reported.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     result.stale_baseline = baseline.stale_entries(matched)
+    result.analysis_seconds = time.perf_counter() - started
     return result
 
 
